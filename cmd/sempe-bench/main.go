@@ -1,0 +1,91 @@
+// Command sempe-bench regenerates the paper's tables and figures:
+//
+//	sempe-bench -exp table2            # baseline configuration echo
+//	sempe-bench -exp fig8              # djpeg overhead grid
+//	sempe-bench -exp fig9              # cache miss rates
+//	sempe-bench -exp fig10a -quick     # microbenchmark slowdowns (subset)
+//	sempe-bench -exp fig10b
+//	sempe-bench -exp table1
+//	sempe-bench -exp all
+//
+// Absolute cycle counts come from this repository's simulator, not the
+// authors' gem5 testbed; EXPERIMENTS.md compares the shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "table1|table2|fig8|fig9|fig10a|fig10b|all")
+		quick = flag.Bool("quick", false, "reduced sweep (W in {1,4,10}, fewer iterations)")
+	)
+	flag.Parse()
+	start := time.Now()
+
+	fig10Spec := experiments.DefaultFig10Spec()
+	if *quick {
+		fig10Spec.Ws = []int{1, 4, 10}
+		fig10Spec.Iters = 4
+	}
+
+	needFig10 := *exp == "fig10a" || *exp == "fig10b" || *exp == "table1" || *exp == "all"
+	needFig8 := *exp == "fig8" || *exp == "fig9" || *exp == "all"
+
+	var fig10Rows []experiments.Fig10Row
+	if needFig10 {
+		var err error
+		fmt.Fprintf(os.Stderr, "running Fig. 10 sweep (%d workloads x %d depths x 3 variants)...\n",
+			len(fig10Spec.Kinds), len(fig10Spec.Ws))
+		fig10Rows, err = experiments.Fig10(fig10Spec)
+		if err != nil {
+			fatal("fig10: %v", err)
+		}
+	}
+	var fig8Rows []experiments.Fig8Row
+	if needFig8 {
+		var err error
+		fmt.Fprintf(os.Stderr, "running Fig. 8/9 djpeg grid...\n")
+		fig8Rows, err = experiments.Fig8(experiments.DefaultFig8Spec())
+		if err != nil {
+			fatal("fig8: %v", err)
+		}
+	}
+
+	switch *exp {
+	case "table2":
+		experiments.Table2().Render(os.Stdout)
+	case "table1":
+		experiments.Table1(fig10Rows).Render(os.Stdout)
+	case "fig8":
+		experiments.RenderFig8(fig8Rows).Render(os.Stdout)
+	case "fig9":
+		experiments.RenderFig9(fig8Rows).Render(os.Stdout)
+	case "fig10a":
+		experiments.RenderFig10a(fig10Rows).Render(os.Stdout)
+	case "fig10b":
+		experiments.RenderFig10b(fig10Rows).Render(os.Stdout)
+	case "all":
+		experiments.Table2().Render(os.Stdout)
+		experiments.RenderFig8(fig8Rows).Render(os.Stdout)
+		experiments.RenderFig9(fig8Rows).Render(os.Stdout)
+		experiments.RenderFig10a(fig10Rows).Render(os.Stdout)
+		experiments.RenderFig10b(fig10Rows).Render(os.Stdout)
+		experiments.Table1(fig10Rows).Render(os.Stdout)
+	default:
+		fatal("unknown experiment %q", *exp)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v (workload kinds: %v)\n", time.Since(start), workloads.All())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sempe-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

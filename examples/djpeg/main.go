@@ -1,0 +1,76 @@
+// djpeg demonstrates the paper's real-world case study: an image decoder
+// whose per-block decode path depends on the (secret) image content. Two
+// images of identical size but different content are distinguishable on the
+// baseline core — the decoder runs longer on busy images — and
+// indistinguishable under SeMPE. The example also prints a miniature of the
+// paper's Fig. 8 overhead comparison across output formats.
+//
+//	go run ./examples/djpeg
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/compile"
+	"repro/internal/isa"
+	"repro/internal/jpegsim"
+	"repro/internal/lang"
+	"repro/internal/leak"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+func main() {
+	// Part 1: the content leak.
+	fmt.Println("-- image content leak --")
+	build := func(mode compile.Mode) func(uint64) (*isa.Program, error) {
+		return func(seed uint64) (*isa.Program, error) {
+			spec := jpegsim.ImageSpec{Format: jpegsim.PPM, Blocks: 16, Sparsity: 50, Seed: seed}
+			out, err := compile.Compile(jpegsim.BuildProgram(spec), mode)
+			if err != nil {
+				return nil, err
+			}
+			return out.Prog, nil
+		}
+	}
+	baseRep, err := leak.Distinguish(pipeline.DefaultConfig(), build(compile.Plain), 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline, two same-size images: %v\n", baseRep)
+	secRep, err := leak.Distinguish(pipeline.SecureConfig(), build(compile.SeMPE), 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SeMPE,    two same-size images: %v\n\n", secRep)
+
+	// Part 2: what the protection costs per output format (Fig. 8 in
+	// miniature).
+	fmt.Println("-- protection overhead by output format --")
+	t := &stats.Table{Header: []string{"format", "baseline cycles", "SeMPE cycles", "overhead"}}
+	for _, f := range jpegsim.Formats() {
+		spec := jpegsim.ImageSpec{Format: f, Blocks: 32, Sparsity: 50, Seed: 9}
+		p := jpegsim.BuildProgram(spec)
+		base := mustRun(pipeline.DefaultConfig(), p, compile.Plain)
+		sec := mustRun(pipeline.SecureConfig(), p, compile.SeMPE)
+		t.AddRow(f.String(), stats.Int(base.Stats.Cycles), stats.Int(sec.Stats.Cycles),
+			stats.Percent(float64(sec.Stats.Cycles)/float64(base.Stats.Cycles)-1))
+	}
+	t.Render(os.Stdout)
+	fmt.Println("PPM spends the largest fraction of its time in secret-dependent decode")
+	fmt.Println("steps, so it pays the most; BMP's heavy public back-end dilutes the cost.")
+}
+
+func mustRun(cfg pipeline.Config, p *lang.Program, mode compile.Mode) *pipeline.Core {
+	out, err := compile.Compile(p, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	core := pipeline.New(cfg, out.Prog)
+	if err := core.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return core
+}

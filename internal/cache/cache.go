@@ -1,0 +1,297 @@
+// Package cache models a set-associative cache hierarchy with LRU
+// replacement and per-level statistics, sized per the paper's Table II:
+// 16 KiB 2-way IL1, 32 KiB 2-way DL1, and a shared 256 KiB 2-way L2 in front
+// of main memory. Prefetchers (internal/prefetch) hook the demand-access
+// stream via the Observer callback.
+package cache
+
+import "fmt"
+
+// LineSize is the cache line size in bytes for every level.
+const LineSize = 64
+
+// Stats accumulates per-level access counts.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Evictions  uint64
+	Prefetches uint64 // lines installed by a prefetcher
+}
+
+// MissRate returns Misses/Accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Level is anything that can serve a line fill: a cache or main memory.
+type Level interface {
+	// Access looks up the line containing addr, filling on miss, and
+	// returns the total latency in cycles. write marks the line dirty.
+	Access(addr uint64, write bool) (latency int)
+	// Name identifies the level in reports.
+	Name() string
+}
+
+// MainMemory is the terminal level with a fixed access latency.
+type MainMemory struct {
+	Latency int
+	Stats   Stats
+}
+
+// Access always "hits" main memory at fixed latency.
+func (m *MainMemory) Access(addr uint64, write bool) int {
+	m.Stats.Accesses++
+	return m.Latency
+}
+
+// Name implements Level.
+func (m *MainMemory) Name() string { return "mem" }
+
+// Observer is notified of every demand access to a cache, letting
+// prefetchers watch the stream. pc is the program counter of the
+// instruction performing the access (0 for fills from lower levels).
+type Observer interface {
+	OnAccess(pc, addr uint64, miss bool)
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	name       string
+	sets       int
+	ways       int
+	hitLatency int
+	next       Level
+	tags       []uint64 // sets*ways entries; tag 0 means invalid via valid bit
+	valid      []bool
+	dirty      []bool
+	lruAge     []uint64 // larger = more recently used
+	clock      uint64
+	observer   Observer
+
+	Stats Stats
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	HitLatency int
+}
+
+// New builds a cache level in front of next.
+func New(cfg Config, next Level) *Cache {
+	if cfg.SizeBytes%(LineSize*cfg.Ways) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible by ways*line", cfg.Name, cfg.SizeBytes))
+	}
+	sets := cfg.SizeBytes / (LineSize * cfg.Ways)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, sets))
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		name:       cfg.Name,
+		sets:       sets,
+		ways:       cfg.Ways,
+		hitLatency: cfg.HitLatency,
+		next:       next,
+		tags:       make([]uint64, n),
+		valid:      make([]bool, n),
+		dirty:      make([]bool, n),
+		lruAge:     make([]uint64, n),
+	}
+}
+
+// SetObserver registers a demand-stream observer (prefetcher).
+func (c *Cache) SetObserver(o Observer) { c.observer = o }
+
+// Name implements Level.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr / LineSize
+	return int(line % uint64(c.sets)), line / uint64(c.sets)
+}
+
+// Access implements Level for demand accesses (no PC attribution).
+func (c *Cache) Access(addr uint64, write bool) int {
+	return c.AccessPC(0, addr, write)
+}
+
+// AccessPC performs a demand access attributed to the instruction at pc,
+// returning the latency. Misses recurse into the next level and fill.
+func (c *Cache) AccessPC(pc, addr uint64, write bool) int {
+	c.Stats.Accesses++
+	set, tag := c.index(addr)
+	base := set * c.ways
+	c.clock++
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.lruAge[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			if c.observer != nil {
+				c.observer.OnAccess(pc, addr, false)
+			}
+			return c.hitLatency
+		}
+	}
+	// Miss: fetch from the next level, then fill.
+	c.Stats.Misses++
+	lat := c.hitLatency + c.next.Access(addr, false)
+	c.fill(set, tag, write)
+	if c.observer != nil {
+		c.observer.OnAccess(pc, addr, true)
+	}
+	return lat
+}
+
+// Contains reports whether the line holding addr is resident (no state
+// change). Used by tests and by the leak checker's cache-state digests.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefetch installs the line containing addr without charging any demand
+// latency (fill bandwidth is not modeled). It still propagates to the next
+// level so inclusive behavior and L2 stats stay sensible.
+func (c *Cache) Prefetch(addr uint64) {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			return // already resident
+		}
+	}
+	c.Stats.Prefetches++
+	c.next.Access(addr, false)
+	c.fill(set, tag, false)
+}
+
+func (c *Cache) fill(set int, tag uint64, write bool) {
+	base := set * c.ways
+	victim := base
+	for w := 1; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lruAge[i] < c.lruAge[victim] {
+			victim = i
+		}
+	}
+	if c.valid[victim] {
+		c.Stats.Evictions++
+		// Write-back traffic is accounted in the next level's access count
+		// only for dirty lines; latency is hidden by the write buffer.
+		if c.dirty[victim] {
+			c.next.Access(c.victimAddr(set, c.tags[victim]), true)
+		}
+	}
+	c.clock++
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.dirty[victim] = write
+	c.lruAge[victim] = c.clock
+}
+
+func (c *Cache) victimAddr(set int, tag uint64) uint64 {
+	return (tag*uint64(c.sets) + uint64(set)) * LineSize
+}
+
+// Digest returns a deterministic fingerprint of the cache's resident-line
+// state (tags and LRU order). The leak checker compares digests produced by
+// runs with different secrets: under SeMPE they must be identical.
+func (c *Cache) Digest() uint64 {
+	var h uint64 = 1469598103934665603 // FNV-64 offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xFF
+			h *= 1099511628211
+		}
+	}
+	for set := 0; set < c.sets; set++ {
+		base := set * c.ways
+		// Order ways by age so the digest reflects LRU state, not the
+		// arbitrary way index.
+		type entry struct {
+			age, tag uint64
+			valid    bool
+		}
+		var es []entry
+		for w := 0; w < c.ways; w++ {
+			i := base + w
+			es = append(es, entry{c.lruAge[i], c.tags[i], c.valid[i]})
+		}
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && es[j].age < es[j-1].age; j-- {
+				es[j], es[j-1] = es[j-1], es[j]
+			}
+		}
+		for _, e := range es {
+			if e.valid {
+				mix(e.tag + 1)
+			} else {
+				mix(0)
+			}
+		}
+	}
+	return h
+}
+
+// Hierarchy bundles the three levels from Table II plus main memory.
+type Hierarchy struct {
+	IL1 *Cache
+	DL1 *Cache
+	L2  *Cache
+	Mem *MainMemory
+}
+
+// HierarchyConfig sizes the three levels.
+type HierarchyConfig struct {
+	IL1, DL1, L2 Config
+	MemLatency   int
+}
+
+// DefaultHierarchyConfig mirrors Table II with conventional latencies.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		IL1:        Config{Name: "il1", SizeBytes: 16 << 10, Ways: 2, HitLatency: 1},
+		DL1:        Config{Name: "dl1", SizeBytes: 32 << 10, Ways: 2, HitLatency: 2},
+		L2:         Config{Name: "l2", SizeBytes: 256 << 10, Ways: 2, HitLatency: 12},
+		MemLatency: 150,
+	}
+}
+
+// NewHierarchy wires IL1 and DL1 in front of a shared L2 and main memory.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	memory := &MainMemory{Latency: cfg.MemLatency}
+	l2 := New(cfg.L2, memory)
+	return &Hierarchy{
+		IL1: New(cfg.IL1, l2),
+		DL1: New(cfg.DL1, l2),
+		L2:  l2,
+		Mem: memory,
+	}
+}

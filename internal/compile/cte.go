@@ -1,0 +1,111 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/lang"
+)
+
+// This file implements the FaCT-style Constant-Time Expression backend.
+// A secret condition becomes a full-width mask; both paths execute as
+// straight-line code; every assignment and store becomes a masked select.
+// Each select must combine the masks of *all* enclosing secret conditions
+// (with the else-side masks complemented), so per-statement cost grows with
+// nesting depth — the super-linear blowup the paper measures in Fig. 10.
+
+// cteIf lowers a secret conditional to masked straight-line code.
+func (c *compiler) cteIf(s *lang.If, remap map[string]string) error {
+	if len(c.maskStack) >= maxMaskDepth {
+		return fmt.Errorf("CTE: secret nesting exceeds %d (mask registers)", maxMaskDepth)
+	}
+	cond, err := c.expr(s.Cond, remap)
+	if err != nil {
+		return err
+	}
+	m := isa.Reg(firstMaskReg + len(c.maskStack))
+	// Normalize to 0/1, then widen: m = -(cond != 0).
+	c.emit(isa.Inst{Op: isa.OpSltu, Rd: m, Ra: isa.RZ, Rb: cond.reg})
+	c.emit(isa.Inst{Op: isa.OpSub, Rd: m, Ra: isa.RZ, Rb: m})
+	c.freeValue(cond)
+
+	c.maskStack = append(c.maskStack, maskLevel{reg: m})
+	if err := c.stmts(s.Then, remap); err != nil {
+		return err
+	}
+	c.maskStack[len(c.maskStack)-1].negated = true
+	if err := c.stmts(s.Else, remap); err != nil {
+		return err
+	}
+	c.maskStack = c.maskStack[:len(c.maskStack)-1]
+	return c.b.Err()
+}
+
+// effMask materializes the conjunction of every enclosing mask into
+// scratchRegA. The chain is recomputed per statement, reproducing the
+// expression blowup of hand-written CTE (paper Fig. 2: each statement's
+// select embeds the logical combination of all condition binaries).
+func (c *compiler) effMask() {
+	for i, lvl := range c.maskStack {
+		src := lvl.reg
+		if lvl.negated {
+			c.emit(isa.Inst{Op: isa.OpXori, Rd: scratchRegB, Ra: lvl.reg, Imm: -1})
+			src = scratchRegB
+		}
+		if i == 0 {
+			c.emit(isa.Inst{Op: isa.OpAdd, Rd: scratchRegA, Ra: src, Rb: isa.RZ})
+		} else {
+			c.emit(isa.Inst{Op: isa.OpAnd, Rd: scratchRegA, Ra: scratchRegA, Rb: src})
+		}
+	}
+}
+
+// cteAssign lowers "x = e" under the active mask stack:
+//
+//	x = (e & E) | (x & ^E)   where E = m1 & m2 & ... & md
+func (c *compiler) cteAssign(s *lang.Assign, remap map[string]string) error {
+	v, err := c.expr(s.E, remap)
+	if err != nil {
+		return err
+	}
+	vo := c.own(v)
+	c.effMask()
+	x := c.varReg[s.Name]
+	c.emit(isa.Inst{Op: isa.OpAnd, Rd: vo.reg, Ra: vo.reg, Rb: scratchRegA})
+	c.emit(isa.Inst{Op: isa.OpXori, Rd: scratchRegA, Ra: scratchRegA, Imm: -1})
+	c.emit(isa.Inst{Op: isa.OpAnd, Rd: scratchRegA, Ra: x, Rb: scratchRegA})
+	c.emit(isa.Inst{Op: isa.OpOr, Rd: x, Ra: vo.reg, Rb: scratchRegA})
+	c.freeValue(vo)
+	return nil
+}
+
+// cteStore lowers "arr[i] = v" under the active mask stack. The element is
+// always loaded and stored regardless of the masks, keeping the memory
+// access pattern constant:
+//
+//	arr[i] = (v & E) | (arr[i] & ^E)
+func (c *compiler) cteStore(s *lang.Store, remap map[string]string) error {
+	arr := c.remapArr(s.Arr, remap)
+	addr, err := c.elemAddr(arr, s.Idx, remap)
+	if err != nil {
+		return err
+	}
+	v, err := c.expr(s.Val, remap)
+	if err != nil {
+		c.freeValue(addr)
+		return err
+	}
+	vo := c.own(v)
+	c.effMask()
+	old := c.mustTemp()
+	c.emit(isa.Inst{Op: isa.OpLd, Rd: old, Ra: addr.reg})
+	c.emit(isa.Inst{Op: isa.OpAnd, Rd: vo.reg, Ra: vo.reg, Rb: scratchRegA})
+	c.emit(isa.Inst{Op: isa.OpXori, Rd: scratchRegA, Ra: scratchRegA, Imm: -1})
+	c.emit(isa.Inst{Op: isa.OpAnd, Rd: old, Ra: old, Rb: scratchRegA})
+	c.emit(isa.Inst{Op: isa.OpOr, Rd: vo.reg, Ra: vo.reg, Rb: old})
+	c.emit(isa.Inst{Op: isa.OpSt, Rd: vo.reg, Ra: addr.reg})
+	c.release(old)
+	c.freeValue(vo)
+	c.freeValue(addr)
+	return nil
+}

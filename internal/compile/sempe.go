@@ -1,0 +1,302 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/lang"
+)
+
+// shadowPlan records, for one secret If, the arrays that must be privatized
+// with ShadowMemory: arrays written somewhere inside the region that are
+// observable afterwards (live-out or read outside the region). Registers
+// never need privatization under SeMPE — the ArchRS hardware restores them
+// — which is the mechanism's key advantage over software schemes.
+type shadowPlan struct {
+	entries []shadowEntry
+}
+
+type shadowEntry struct {
+	orig   string // original array name (pre-remap)
+	shT    string // taken-path shadow
+	shNT   string // not-taken-path shadow
+	length int
+}
+
+// planShadows allocates shadow arrays for every secret If in the program.
+func (c *compiler) planShadows() error {
+	c.shadowInfo = make(map[*lang.If]*shadowPlan)
+	var walk func(ss []lang.Stmt) error
+	walk = func(ss []lang.Stmt) error {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *lang.If:
+				if s.Secret {
+					if err := c.planShadowsFor(s); err != nil {
+						return err
+					}
+				}
+				if err := walk(s.Then); err != nil {
+					return err
+				}
+				if err := walk(s.Else); err != nil {
+					return err
+				}
+			case *lang.While:
+				if err := walk(s.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(c.prog.Body)
+}
+
+func (c *compiler) planShadowsFor(node *lang.If) error {
+	written := map[string]bool{}
+	collectWrites(node.Then, written)
+	collectWrites(node.Else, written)
+	if len(written) == 0 {
+		return nil
+	}
+	plan := &shadowPlan{}
+	for _, a := range c.prog.Arrays {
+		if !written[a.Name] {
+			continue
+		}
+		if !a.LiveOut && !readOutside(c.prog.Body, node, a.Name) {
+			continue // scratch data: both paths may dirty it freely
+		}
+		shT := fmt.Sprintf("%s__shT%d", a.Name, c.shadowID)
+		shNT := fmt.Sprintf("%s__shNT%d", a.Name, c.shadowID)
+		c.shadowID++
+		c.arrAddr[shT] = c.b.Data(shT, 8*a.Len)
+		c.arrAddr[shNT] = c.b.Data(shNT, 8*a.Len)
+		plan.entries = append(plan.entries, shadowEntry{
+			orig: a.Name, shT: shT, shNT: shNT, length: a.Len,
+		})
+	}
+	if len(plan.entries) > 0 {
+		c.shadowInfo[node] = plan
+	}
+	return nil
+}
+
+func collectWrites(ss []lang.Stmt, out map[string]bool) {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *lang.Store:
+			out[s.Arr] = true
+		case *lang.If:
+			collectWrites(s.Then, out)
+			collectWrites(s.Else, out)
+		case *lang.While:
+			collectWrites(s.Body, out)
+		}
+	}
+}
+
+// readOutside reports whether array arr is read anywhere in the program
+// outside the subtree rooted at node.
+func readOutside(body []lang.Stmt, node *lang.If, arr string) bool {
+	var inExpr func(e lang.Expr) bool
+	inExpr = func(e lang.Expr) bool {
+		switch e := e.(type) {
+		case lang.Index:
+			return e.Arr == arr || inExpr(e.Idx)
+		case lang.Bin:
+			return inExpr(e.A) || inExpr(e.B)
+		}
+		return false
+	}
+	var walk func(ss []lang.Stmt) bool
+	walk = func(ss []lang.Stmt) bool {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *lang.Assign:
+				if inExpr(s.E) {
+					return true
+				}
+			case *lang.Store:
+				if inExpr(s.Idx) || inExpr(s.Val) {
+					return true
+				}
+			case *lang.If:
+				if s == node {
+					continue // skip the subtree under analysis
+				}
+				if inExpr(s.Cond) || walk(s.Then) || walk(s.Else) {
+					return true
+				}
+			case *lang.While:
+				if inExpr(s.Cond) || walk(s.Body) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(body)
+}
+
+// sempeIf lowers a secret conditional into a secure region:
+//
+//	     <evaluate cond>
+//	     [spill cond; copy arr -> shadows]     ; only when merging
+//	     sBNE cond, rz, L_T                    ; sJMP
+//	     <else body (NT path), arrays remapped to NT shadows>
+//	     JMP  L_join
+//	L_T: <then body (T path), arrays remapped to T shadows>
+//	L_join:
+//	     eosJMP
+//	     [reload cond; CMOV-merge shadows]
+//
+// On a SeMPE core both paths execute and commit; on a legacy core the
+// prefix is ignored and exactly one path runs — same result, no protection.
+func (c *compiler) sempeIf(s *lang.If, remap map[string]string) error {
+	if c.secDepth >= MaxSecretNesting {
+		return fmt.Errorf("secret nesting exceeds %d (SPM snapshot slots)", MaxSecretNesting)
+	}
+	plan := c.shadowInfo[s]
+
+	cond, err := c.expr(s.Cond, remap)
+	if err != nil {
+		return err
+	}
+
+	condSlot := int64(c.condSlotBase) + 8*int64(c.secDepth)
+	if plan != nil {
+		// Spill the condition: the copy-in loops need every temporary, and
+		// the merge after eosJMP needs the condition again. The slot write
+		// happens outside the secure region, so it is not path state.
+		t := c.mustTemp()
+		c.emit(isa.Inst{Op: isa.OpLi, Rd: t, Imm: condSlot})
+		c.emit(isa.Inst{Op: isa.OpSt, Rd: cond.reg, Ra: t})
+		c.release(t)
+		c.freeValue(cond)
+		for _, e := range plan.entries {
+			src := c.remapArr(e.orig, remap)
+			c.emitCopyIn(src, e.shT, e.shNT, e.length)
+		}
+		// Reload the condition for the sJMP itself.
+		t2 := c.mustTemp()
+		c.emit(isa.Inst{Op: isa.OpLi, Rd: t2, Imm: condSlot})
+		c.emit(isa.Inst{Op: isa.OpLd, Rd: t2, Ra: t2})
+		cond = value{t2, true}
+	}
+
+	thenL := c.b.FreshLabel("sec_t")
+	joinL := c.b.FreshLabel("sec_join")
+	c.emitRef(isa.Inst{Op: isa.OpBne, Ra: cond.reg, Rb: isa.RZ, Secure: true}, thenL)
+	c.freeValue(cond)
+
+	c.secDepth++
+	// Not-taken path first: the else body.
+	ntRemap := composeRemap(remap, plan, false)
+	if err := c.stmts(s.Else, ntRemap); err != nil {
+		return err
+	}
+	c.emitRef(isa.Inst{Op: isa.OpJmp}, joinL)
+	c.b.Label(thenL)
+	tRemap := composeRemap(remap, plan, true)
+	if err := c.stmts(s.Then, tRemap); err != nil {
+		return err
+	}
+	c.b.Label(joinL)
+	c.emit(isa.Inst{Op: isa.OpNop, Secure: true}) // eosJMP
+	c.secDepth--
+
+	if plan != nil {
+		// Merge: for every privatized array, select the true path's values
+		// with CMOV. The loop's work is identical for both outcomes.
+		c.emit(isa.Inst{Op: isa.OpLi, Rd: scratchRegA, Imm: condSlot})
+		c.emit(isa.Inst{Op: isa.OpLd, Rd: scratchRegA, Ra: scratchRegA})
+		for _, e := range plan.entries {
+			dst := c.remapArr(e.orig, remap)
+			c.emitMerge(dst, e.shT, e.shNT, e.length)
+		}
+	}
+	return c.b.Err()
+}
+
+// composeRemap layers a shadow plan's path-specific substitutions on top of
+// the enclosing remapping.
+func composeRemap(remap map[string]string, plan *shadowPlan, takenPath bool) map[string]string {
+	if plan == nil {
+		return remap
+	}
+	out := make(map[string]string, len(remap)+len(plan.entries))
+	for k, v := range remap {
+		out[k] = v
+	}
+	for _, e := range plan.entries {
+		if takenPath {
+			out[e.orig] = e.shT
+		} else {
+			out[e.orig] = e.shNT
+		}
+	}
+	return out
+}
+
+// emitCopyIn copies src into both shadow arrays with one loop:
+// ShadowMemory contents start as a copy of the memory before the region.
+func (c *compiler) emitCopyIn(src, shT, shNT string, length int) {
+	ts := c.mustTemp()
+	tt := c.mustTemp()
+	tn := c.mustTemp()
+	tc := c.mustTemp()
+	tv := c.mustTemp()
+	c.emit(isa.Inst{Op: isa.OpLi, Rd: ts, Imm: int64(c.arrAddr[src])})
+	c.emit(isa.Inst{Op: isa.OpLi, Rd: tt, Imm: int64(c.arrAddr[shT])})
+	c.emit(isa.Inst{Op: isa.OpLi, Rd: tn, Imm: int64(c.arrAddr[shNT])})
+	c.emit(isa.Inst{Op: isa.OpLi, Rd: tc, Imm: int64(length)})
+	loopL := c.b.FreshLabel("copyin")
+	c.b.Label(loopL)
+	c.emit(isa.Inst{Op: isa.OpLd, Rd: tv, Ra: ts})
+	c.emit(isa.Inst{Op: isa.OpSt, Rd: tv, Ra: tt})
+	c.emit(isa.Inst{Op: isa.OpSt, Rd: tv, Ra: tn})
+	c.emit(isa.Inst{Op: isa.OpAddi, Rd: ts, Ra: ts, Imm: 8})
+	c.emit(isa.Inst{Op: isa.OpAddi, Rd: tt, Ra: tt, Imm: 8})
+	c.emit(isa.Inst{Op: isa.OpAddi, Rd: tn, Ra: tn, Imm: 8})
+	c.emit(isa.Inst{Op: isa.OpAddi, Rd: tc, Ra: tc, Imm: -1})
+	c.emitRef(isa.Inst{Op: isa.OpBne, Ra: tc, Rb: isa.RZ}, loopL)
+	c.release(ts)
+	c.release(tt)
+	c.release(tn)
+	c.release(tc)
+	c.release(tv)
+}
+
+// emitMerge writes the true path's values back into dst. scratchRegA holds
+// the spilled condition. Both shadow arrays are read and a CMOV selects,
+// so cache and timing behavior are outcome-independent — the paper's
+// "overwrite with itself" discipline.
+func (c *compiler) emitMerge(dst, shT, shNT string, length int) {
+	tt := c.mustTemp()
+	tn := c.mustTemp()
+	td := c.mustTemp()
+	tc := c.mustTemp()
+	tv := c.mustTemp()
+	c.emit(isa.Inst{Op: isa.OpLi, Rd: tt, Imm: int64(c.arrAddr[shT])})
+	c.emit(isa.Inst{Op: isa.OpLi, Rd: tn, Imm: int64(c.arrAddr[shNT])})
+	c.emit(isa.Inst{Op: isa.OpLi, Rd: td, Imm: int64(c.arrAddr[dst])})
+	c.emit(isa.Inst{Op: isa.OpLi, Rd: tc, Imm: int64(length)})
+	loopL := c.b.FreshLabel("merge")
+	c.b.Label(loopL)
+	c.emit(isa.Inst{Op: isa.OpLd, Rd: tv, Ra: tt})          // T value
+	c.emit(isa.Inst{Op: isa.OpLd, Rd: scratchRegB, Ra: tn}) // NT value
+	c.emit(isa.Inst{Op: isa.OpCmovz, Rd: tv, Ra: scratchRegA, Rb: scratchRegB})
+	c.emit(isa.Inst{Op: isa.OpSt, Rd: tv, Ra: td})
+	c.emit(isa.Inst{Op: isa.OpAddi, Rd: tt, Ra: tt, Imm: 8})
+	c.emit(isa.Inst{Op: isa.OpAddi, Rd: tn, Ra: tn, Imm: 8})
+	c.emit(isa.Inst{Op: isa.OpAddi, Rd: td, Ra: td, Imm: 8})
+	c.emit(isa.Inst{Op: isa.OpAddi, Rd: tc, Ra: tc, Imm: -1})
+	c.emitRef(isa.Inst{Op: isa.OpBne, Ra: tc, Rb: isa.RZ}, loopL)
+	c.release(tt)
+	c.release(tn)
+	c.release(td)
+	c.release(tc)
+	c.release(tv)
+}

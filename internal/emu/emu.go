@@ -1,0 +1,314 @@
+// Package emu implements an architectural (functional, 1-instruction-per-step)
+// reference interpreter for the simulated ISA. It serves as the golden model
+// for the cycle-level out-of-order core: on any program both machines must
+// produce identical final registers and memory.
+//
+// The emulator supports two modes:
+//
+//   - Legacy: SecPrefix bytes are ignored, so sJMP is an ordinary branch and
+//     eosJMP is a NOP. This is how a SeMPE binary behaves on a non-SeMPE core
+//     (backward compatibility, paper §IV-C).
+//   - SeMPE: sJMP executes both paths sequentially (not-taken first), eosJMP
+//     jumps back, and the ArchRS mechanism snapshots and restores
+//     architectural registers around the two paths (paper §IV-E/F).
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Mode selects how secure instructions are interpreted.
+type Mode int
+
+// Execution modes.
+const (
+	Legacy Mode = iota // ignore SecPrefix (baseline architecture)
+	SeMPE              // dual-path secure execution
+)
+
+func (m Mode) String() string {
+	if m == SeMPE {
+		return "sempe"
+	}
+	return "legacy"
+}
+
+// Machine is a functional processor instance.
+type Machine struct {
+	Mode Mode
+	Mem  *mem.Memory
+	Regs [isa.NumArchRegs]uint64
+	PC   uint64
+
+	// OverflowNonSecure selects the paper's permissive overflow policy
+	// (§IV-E): when secure nesting exceeds the SPM snapshot slots, the
+	// exception handler continues executing the branch as non-secure
+	// (single path, no protection) instead of terminating. Downgraded
+	// regions are counted in NestOverflows.
+	OverflowNonSecure bool
+	NestOverflows     uint64
+	ovfDepth          int // live downgraded regions (LIFO inside the secure nest)
+
+	// Secure-execution state (SeMPE mode).
+	jb      []jbEntry
+	spm     *mem.SPM
+	inTPath []bool // scratch for SPM.MarkModified, indexed by nesting level
+
+	// Instruction budget guard against runaway programs.
+	MaxInsts uint64
+
+	// Statistics.
+	Insts    uint64 // committed instructions
+	SJmps    uint64 // sJMP instructions executed
+	EOSJmps  uint64 // eosJMP instructions executed
+	Branches uint64
+
+	halted bool
+}
+
+// jbEntry mirrors one Jump-Back Table row: the sJMP destination address, the
+// real branch outcome (T/NT), and the jump-back bit.
+type jbEntry struct {
+	target uint64
+	taken  bool
+	jb     bool
+}
+
+// Errors reported by Run.
+var (
+	ErrBudget    = errors.New("emu: instruction budget exhausted")
+	ErrJbUnder   = errors.New("emu: eosJMP with empty jbTable")
+	ErrNestDepth = errors.New("emu: secure nesting exceeds SPM slots")
+)
+
+// New creates a machine executing prog in the given mode on a fresh memory.
+func New(mode Mode, prog *isa.Program) *Machine {
+	m := &Machine{
+		Mode:     mode,
+		Mem:      mem.NewMemory(),
+		PC:       prog.Entry,
+		MaxInsts: 1 << 32,
+		spm:      mem.NewSPM(mem.DefaultSPMConfig()),
+	}
+	m.Mem.Load(prog)
+	m.Regs[isa.SP] = isa.DefaultStackTop
+	return m
+}
+
+// NewOnMemory creates a machine running on an existing memory image.
+func NewOnMemory(mode Mode, memory *mem.Memory, entry uint64) *Machine {
+	m := &Machine{
+		Mode:     mode,
+		Mem:      memory,
+		PC:       entry,
+		MaxInsts: 1 << 32,
+		spm:      mem.NewSPM(mem.DefaultSPMConfig()),
+	}
+	m.Regs[isa.SP] = isa.DefaultStackTop
+	return m
+}
+
+// Halted reports whether the program has executed HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// NestDepth returns the current secure-branch nesting depth.
+func (m *Machine) NestDepth() int { return len(m.jb) }
+
+// Run executes until HALT or error.
+func (m *Machine) Run() error {
+	for !m.halted {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	if m.Insts >= m.MaxInsts {
+		return fmt.Errorf("%w (%d)", ErrBudget, m.MaxInsts)
+	}
+	in, size, err := m.fetch()
+	if err != nil {
+		return err
+	}
+	m.Insts++
+	next := m.PC + uint64(size)
+
+	secure := m.Mode == SeMPE
+	switch {
+	case in.Op == isa.OpHalt:
+		m.halted = true
+		m.PC = next
+		return nil
+	case in.IsEOSJmp() && secure:
+		return m.stepEOSJmp(next)
+	case in.IsSJmp() && secure:
+		return m.stepSJmp(in, next)
+	case in.Op == isa.OpNop:
+		m.PC = next
+		return nil
+	case in.Op.IsBranch():
+		m.Branches++
+		if isa.BranchTaken(in.Op, m.Regs[in.Ra], m.Regs[in.Rb]) {
+			m.PC += uint64(in.Imm)
+		} else {
+			m.PC = next
+		}
+		return nil
+	case in.Op == isa.OpJmp:
+		m.PC += uint64(in.Imm)
+		return nil
+	case in.Op == isa.OpJal:
+		m.writeReg(in.Rd, next)
+		m.PC += uint64(in.Imm)
+		return nil
+	case in.Op == isa.OpJalr:
+		target := m.Regs[in.Ra] + uint64(in.Imm)
+		m.writeReg(in.Rd, next)
+		m.PC = target
+		return nil
+	case in.Op.ClassOf() == isa.ClassLoad:
+		addr := isa.MemAddr(in, m.Regs[in.Ra])
+		var v uint64
+		if in.Op == isa.OpLd {
+			v = m.Mem.Read64(addr)
+		} else {
+			v = uint64(m.Mem.Read8(addr))
+		}
+		m.writeReg(in.Rd, v)
+		m.PC = next
+		return nil
+	case in.Op.ClassOf() == isa.ClassStore:
+		addr := isa.MemAddr(in, m.Regs[in.Ra])
+		if in.Op == isa.OpSt {
+			m.Mem.Write64(addr, m.Regs[in.Rd])
+		} else {
+			m.Mem.Write8(addr, byte(m.Regs[in.Rd]))
+		}
+		m.PC = next
+		return nil
+	default:
+		v, ok := isa.EvalALU(in, m.Regs[in.Ra], m.Regs[in.Rb], m.Regs[in.Rd])
+		if !ok {
+			return fmt.Errorf("emu: unimplemented opcode %v at pc=%#x", in.Op, m.PC)
+		}
+		m.writeReg(in.Rd, v)
+		m.PC = next
+		return nil
+	}
+}
+
+// stepSJmp implements the secure jump: evaluate the real outcome, push a
+// jbTable entry with the branch destination, snapshot the architectural
+// registers, and always fall through to the not-taken path first, so the
+// fetch stream is independent of the secret.
+func (m *Machine) stepSJmp(in isa.Inst, next uint64) error {
+	m.SJmps++
+	m.Branches++
+	taken := isa.BranchTaken(in.Op, m.Regs[in.Ra], m.Regs[in.Rb])
+	target := m.PC + uint64(in.Imm)
+	if m.ovfDepth > 0 || len(m.jb) >= m.spm.Slots() {
+		// Nesting exceeded the SPM slots (or we are already inside a
+		// downgraded region, whose nested secure branches cannot snapshot
+		// either). Either fault or fall back to ordinary single-path
+		// execution, per the configured policy.
+		if !m.OverflowNonSecure {
+			return fmt.Errorf("%w: depth %d", ErrNestDepth, len(m.jb))
+		}
+		m.NestOverflows++
+		m.ovfDepth++
+		if taken {
+			m.PC = target
+		} else {
+			m.PC = next
+		}
+		return nil
+	}
+	if _, err := m.spm.PushInitial(&m.Regs); err != nil {
+		return err
+	}
+	m.jb = append(m.jb, jbEntry{target: target, taken: taken})
+	m.PC = next // NT path always first
+	return nil
+}
+
+// stepEOSJmp implements the End-of-SecureJump marker. First commit: save the
+// NT-modified registers, restore the initial state, and jump back to the
+// taken-path target. Second commit: restore the correct final state per the
+// branch outcome and pop the entry.
+func (m *Machine) stepEOSJmp(next uint64) error {
+	m.EOSJmps++
+	if m.ovfDepth > 0 {
+		// The innermost live region was downgraded to non-secure: its
+		// single executed path reaches the join marker exactly once, and
+		// the marker degenerates to a NOP. LIFO nesting guarantees this
+		// eosJMP belongs to the downgraded region.
+		m.ovfDepth--
+		m.PC = next
+		return nil
+	}
+	if len(m.jb) == 0 {
+		return fmt.Errorf("%w at pc=%#x", ErrJbUnder, m.PC)
+	}
+	top := &m.jb[len(m.jb)-1]
+	if !top.jb {
+		restore, mask, _ := m.spm.EndNTPath(&m.Regs)
+		applyMasked(&m.Regs, &restore, mask)
+		top.jb = true
+		m.PC = top.target
+		return nil
+	}
+	final, mask, _ := m.spm.EndTPath(top.taken, &m.Regs)
+	applyMasked(&m.Regs, &final, mask)
+	m.jb = m.jb[:len(m.jb)-1]
+	m.PC = next
+	return nil
+}
+
+func applyMasked(dst, src *[isa.NumArchRegs]uint64, mask uint64) {
+	for r := 0; r < isa.NumArchRegs; r++ {
+		if mask&(1<<uint(r)) != 0 {
+			dst[r] = src[r]
+		}
+	}
+}
+
+// writeReg writes an architectural register, honoring the hardwired zero and
+// informing the SPM modified-register tracking when inside a SecBlock.
+func (m *Machine) writeReg(r isa.Reg, v uint64) {
+	if r == isa.RZ {
+		return
+	}
+	m.Regs[r] = v
+	if m.Mode == SeMPE && len(m.jb) > 0 {
+		m.inTPath = m.inTPath[:0]
+		for i := range m.jb {
+			// jb set => executing the T path of level i.
+			m.inTPath = append(m.inTPath, m.jb[i].jb)
+		}
+		m.spm.MarkModified(r, m.inTPath)
+	}
+}
+
+func (m *Machine) fetch() (isa.Inst, int, error) {
+	// Instructions are read through memory so self-checking programs and the
+	// leak infrastructure see one consistent address space.
+	var buf [12]byte
+	for i := range buf {
+		buf[i] = m.Mem.Read8(m.PC + uint64(i))
+	}
+	in, size, err := isa.Decode(buf[:], 0)
+	if err != nil {
+		return in, 0, fmt.Errorf("emu: decode at pc=%#x: %w", m.PC, err)
+	}
+	return in, size, nil
+}

@@ -1,0 +1,144 @@
+package isa
+
+// This file holds the pure architectural semantics of the ISA, shared by the
+// functional emulator (internal/emu) and the out-of-order core
+// (internal/pipeline) so the two can never disagree on a result.
+
+// EvalALU computes the result of a non-memory, non-control instruction.
+// a and b are the Ra/Rb source values and oldRd is the prior value of Rd
+// (used by CMOV, which writes its destination unconditionally). ok is false
+// for opcodes that have no ALU result.
+func EvalALU(in Inst, a, b, oldRd uint64) (val uint64, ok bool) {
+	switch in.Op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		return divs(a, b), true
+	case OpRem:
+		return rems(a, b), true
+	case OpAnd:
+		return a & b, true
+	case OpOr:
+		return a | b, true
+	case OpXor:
+		return a ^ b, true
+	case OpShl:
+		return a << (b & 63), true
+	case OpShr:
+		return a >> (b & 63), true
+	case OpSra:
+		return uint64(int64(a) >> (b & 63)), true
+	case OpSlt:
+		return bool2u(int64(a) < int64(b)), true
+	case OpSltu:
+		return bool2u(a < b), true
+	case OpSeq:
+		return bool2u(a == b), true
+	case OpAddi:
+		return a + uint64(in.Imm), true
+	case OpMuli:
+		return a * uint64(in.Imm), true
+	case OpAndi:
+		return a & uint64(in.Imm), true
+	case OpOri:
+		return a | uint64(in.Imm), true
+	case OpXori:
+		return a ^ uint64(in.Imm), true
+	case OpShli:
+		return a << (uint64(in.Imm) & 63), true
+	case OpShri:
+		return a >> (uint64(in.Imm) & 63), true
+	case OpSrai:
+		return uint64(int64(a) >> (uint64(in.Imm) & 63)), true
+	case OpSlti:
+		return bool2u(int64(a) < in.Imm), true
+	case OpSeqi:
+		return bool2u(a == uint64(in.Imm)), true
+	case OpLi:
+		return uint64(in.Imm), true
+	case OpCmovz:
+		if a == 0 {
+			return b, true
+		}
+		return oldRd, true
+	case OpCmovnz:
+		if a != 0 {
+			return b, true
+		}
+		return oldRd, true
+	}
+	return 0, false
+}
+
+// BranchTaken evaluates a conditional branch condition on source values a, b.
+// The result is undefined for non-branch opcodes.
+func BranchTaken(op Op, a, b uint64) bool {
+	switch op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return int64(a) < int64(b)
+	case OpBge:
+		return int64(a) >= int64(b)
+	case OpBltu:
+		return a < b
+	case OpBgeu:
+		return a >= b
+	}
+	return false
+}
+
+// MemAddr computes the effective address of a load or store given the Ra
+// source value.
+func MemAddr(in Inst, a uint64) uint64 {
+	return a + uint64(in.Imm)
+}
+
+// MemWidth returns the access size in bytes for a memory opcode.
+func MemWidth(op Op) int {
+	switch op {
+	case OpLd, OpSt:
+		return 8
+	case OpLdb, OpStb:
+		return 1
+	}
+	return 0
+}
+
+// divs implements non-trapping signed division: divide-by-zero yields all
+// ones and MinInt64/-1 yields MinInt64 (the RISC-V convention). A trapping
+// divider inside a SecBlock would itself be a side channel; the paper
+// requires the compiler to reject SecBlocks that can fault, and this ISA
+// sidesteps the issue by defining division totally.
+func divs(a, b uint64) uint64 {
+	if b == 0 {
+		return ^uint64(0)
+	}
+	if int64(a) == -1<<63 && int64(b) == -1 {
+		return a
+	}
+	return uint64(int64(a) / int64(b))
+}
+
+func rems(a, b uint64) uint64 {
+	if b == 0 {
+		return a
+	}
+	if int64(a) == -1<<63 && int64(b) == -1 {
+		return 0
+	}
+	return uint64(int64(a) % int64(b))
+}
+
+func bool2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,231 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpNop, Secure: true}, // eosJMP
+		{Op: OpAdd, Rd: 5, Ra: 6, Rb: 7},
+		{Op: OpAddi, Rd: 5, Ra: 6, Imm: -42},
+		{Op: OpLi, Rd: 9, Imm: 1 << 20},
+		{Op: OpLd, Rd: 3, Ra: 4, Imm: 64},
+		{Op: OpSt, Rd: 3, Ra: 4, Imm: -8},
+		{Op: OpBeq, Ra: 1, Rb: 2, Imm: 100},
+		{Op: OpBne, Ra: 1, Rb: 2, Imm: -100, Secure: true}, // sJMP
+		{Op: OpJmp, Imm: 8},
+		{Op: OpJal, Rd: 1, Imm: 400},
+		{Op: OpJalr, Rd: 0, Ra: 1},
+		{Op: OpCmovz, Rd: 8, Ra: 9, Rb: 10},
+	}
+	for _, in := range cases {
+		buf, err := Encode(nil, in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		if len(buf) != in.EncodedLen() {
+			t.Errorf("%v: encoded %d bytes, EncodedLen=%d", in, len(buf), in.EncodedLen())
+		}
+		got, size, err := Decode(buf, 0)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", in, err)
+		}
+		if size != len(buf) {
+			t.Errorf("%v: decode consumed %d of %d bytes", in, size, len(buf))
+		}
+		if got != in {
+			t.Errorf("round trip: got %+v want %+v", got, in)
+		}
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, _, err := Decode([]byte{0xFF, 0, 0, 0, 0, 0, 0, 0}, 0); err == nil {
+		t.Error("undefined opcode accepted")
+	}
+	if _, _, err := Decode([]byte{byte(OpAdd), 1, 2}, 0); err == nil {
+		t.Error("truncated instruction accepted")
+	}
+	if _, _, err := Decode([]byte{SecPrefix, SecPrefix, SecPrefix, SecPrefix, SecPrefix, byte(OpNop)}, 0); err == nil {
+		t.Error("prefix flood accepted")
+	}
+	if _, _, err := Decode([]byte{byte(OpAdd), 99, 0, 0, 0, 0, 0, 0}, 0); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+	if _, _, err := Decode(nil, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestEncodeRejectsBadInst(t *testing.T) {
+	if _, err := Encode(nil, Inst{Op: Op(0x77)}); err == nil {
+		t.Error("bad opcode accepted")
+	}
+	if _, err := Encode(nil, Inst{Op: OpAdd, Rd: 48}); err == nil {
+		t.Error("register 48 accepted")
+	}
+	if _, err := Encode(nil, Inst{Op: OpLi, Imm: 1 << 40}); err == nil {
+		t.Error("oversized immediate accepted")
+	}
+}
+
+func TestSecureRoles(t *testing.T) {
+	sjmp := Inst{Op: OpBeq, Secure: true}
+	if !sjmp.IsSJmp() || sjmp.IsEOSJmp() {
+		t.Errorf("secure branch roles wrong: %+v", sjmp)
+	}
+	eos := Inst{Op: OpNop, Secure: true}
+	if !eos.IsEOSJmp() || eos.IsSJmp() {
+		t.Errorf("eosJMP roles wrong: %+v", eos)
+	}
+	plain := Inst{Op: OpBeq}
+	if plain.IsSJmp() {
+		t.Error("plain branch classified secure")
+	}
+	// A secure prefix on a non-branch, non-NOP instruction is neither.
+	odd := Inst{Op: OpAdd, Secure: true}
+	if odd.IsSJmp() || odd.IsEOSJmp() {
+		t.Errorf("secure ALU misclassified: %+v", odd)
+	}
+}
+
+func TestEosJmpEncoding(t *testing.T) {
+	// The paper's encoding story: eosJMP is exactly prefix+NOP (0x2E, 0x90).
+	buf := MustEncode(nil, Inst{Op: OpNop, Secure: true})
+	if len(buf) != 2 || buf[0] != 0x2E || buf[1] != 0x90 {
+		t.Fatalf("eosJMP encodes as % x, want 2e 90", buf)
+	}
+}
+
+func TestWritesRdAndSrcRegs(t *testing.T) {
+	cases := []struct {
+		in     Inst
+		writes bool
+		nsrcs  int
+	}{
+		{Inst{Op: OpAdd, Rd: 3, Ra: 1, Rb: 2}, true, 2},
+		{Inst{Op: OpAdd, Rd: 0, Ra: 1, Rb: 2}, false, 2}, // rz dest
+		{Inst{Op: OpSt, Rd: 3, Ra: 1}, false, 2},         // rd is a source
+		{Inst{Op: OpLd, Rd: 3, Ra: 1}, true, 1},
+		{Inst{Op: OpCmovz, Rd: 3, Ra: 1, Rb: 2}, true, 3},
+		{Inst{Op: OpLi, Rd: 3}, true, 0},
+		{Inst{Op: OpBeq, Ra: 1, Rb: 2}, false, 2},
+		{Inst{Op: OpJal, Rd: 1}, true, 0},
+		{Inst{Op: OpJalr, Rd: 1, Ra: 2}, true, 1},
+		{Inst{Op: OpNop}, false, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.in.WritesRd(); got != tc.writes {
+			t.Errorf("%v: WritesRd=%v want %v", tc.in, got, tc.writes)
+		}
+		if got := len(tc.in.SrcRegs(nil)); got != tc.nsrcs {
+			t.Errorf("%v: %d sources, want %d", tc.in, got, tc.nsrcs)
+		}
+	}
+}
+
+func TestEvalALUBasics(t *testing.T) {
+	check := func(op Op, a, b, want uint64) {
+		t.Helper()
+		got, ok := EvalALU(Inst{Op: op}, a, b, 0)
+		if !ok || got != want {
+			t.Errorf("%v(%d,%d) = %d,%v want %d", op, a, b, got, ok, want)
+		}
+	}
+	check(OpAdd, 3, 4, 7)
+	check(OpSub, 3, 4, ^uint64(0))
+	check(OpMul, 5, 7, 35)
+	check(OpDiv, 100, 7, 14)
+	check(OpDiv, 100, 0, ^uint64(0)) // non-trapping
+	check(OpRem, 100, 0, 100)
+	check(OpDiv, uint64(1)<<63, ^uint64(0), uint64(1)<<63) // MinInt64 / -1
+	check(OpRem, uint64(1)<<63, ^uint64(0), 0)
+	check(OpSlt, ^uint64(0), 1, 1) // -1 < 1 signed
+	check(OpSltu, ^uint64(0), 1, 0)
+	check(OpSeq, 9, 9, 1)
+	check(OpShl, 1, 65, 2) // shift masked to 6 bits
+	check(OpSra, ^uint64(0), 5, ^uint64(0))
+
+	// CMOV honors the old destination value.
+	if v, _ := EvalALU(Inst{Op: OpCmovz}, 0, 42, 7); v != 42 {
+		t.Errorf("cmovz taken: got %d", v)
+	}
+	if v, _ := EvalALU(Inst{Op: OpCmovz}, 1, 42, 7); v != 7 {
+		t.Errorf("cmovz not taken: got %d", v)
+	}
+	if v, _ := EvalALU(Inst{Op: OpCmovnz}, 1, 42, 7); v != 42 {
+		t.Errorf("cmovnz taken: got %d", v)
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want bool
+	}{
+		{OpBeq, 1, 1, true},
+		{OpBeq, 1, 2, false},
+		{OpBne, 1, 2, true},
+		{OpBlt, ^uint64(0), 0, true}, // -1 < 0 signed
+		{OpBltu, ^uint64(0), 0, false},
+		{OpBge, 5, 5, true},
+		{OpBgeu, 0, ^uint64(0), false},
+	}
+	for _, tc := range cases {
+		if got := BranchTaken(tc.op, tc.a, tc.b); got != tc.want {
+			t.Errorf("BranchTaken(%v,%d,%d)=%v want %v", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestDecodeNeverPanics fuzzes the decoder with random bytes: it must return
+// an error or a valid instruction, never panic or over-read.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		in, size, err := Decode(data, 0)
+		if err != nil {
+			return true
+		}
+		return size > 0 && size <= len(data) && in.Op.Valid()
+	}
+	cfg := &quick.Config{MaxCount: 5000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDecodeQuick round-trips randomly generated valid instructions.
+func TestEncodeDecodeQuick(t *testing.T) {
+	ops := make([]Op, 0, len(opTable))
+	for op := range opTable {
+		ops = append(ops, op)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		in := Inst{
+			Op:     ops[rng.Intn(len(ops))],
+			Rd:     Reg(rng.Intn(NumArchRegs)),
+			Ra:     Reg(rng.Intn(NumArchRegs)),
+			Rb:     Reg(rng.Intn(NumArchRegs)),
+			Imm:    int64(int32(rng.Uint32())),
+			Secure: rng.Intn(2) == 0,
+		}
+		if opTable[in.Op].short {
+			in.Rd, in.Ra, in.Rb, in.Imm = 0, 0, 0, 0
+		}
+		buf, err := Encode(nil, in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, size, err := Decode(buf, 0)
+		if err != nil || size != len(buf) || got != in {
+			t.Fatalf("round trip %v: got %v size=%d err=%v", in, got, size, err)
+		}
+	}
+}

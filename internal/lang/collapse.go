@@ -1,0 +1,57 @@
+package lang
+
+// CollapseNested implements the compiler optimization the paper proposes for
+// reducing secure-branch nesting depth (§IV-E): "if (A) {if (B) ...} can be
+// converted into if (A and B) {...}". Each collapse removes one jbTable/SPM
+// nesting level at the cost of a slightly larger condition expression.
+//
+// The rewrite applies when a secret if with no else branch contains, as its
+// entire then branch, another secret if with no else branch. The combined
+// condition normalizes both operands ((A != 0) & (B != 0)) so arbitrary
+// integer conditions compose correctly. The transformation preserves
+// semantics and the secret-ness of the condition; it changes which branches
+// exist, so dual-path work can shrink (the collapsed region's single body
+// replaces two nested bodies).
+//
+// It returns the number of collapses performed. The program is rewritten in
+// place (statement slices are replaced, shared Expr nodes are reused).
+func CollapseNested(p *Program) int {
+	n := 0
+	p.Body = collapseStmts(p.Body, &n)
+	return n
+}
+
+func collapseStmts(ss []Stmt, n *int) []Stmt {
+	for i, s := range ss {
+		switch s := s.(type) {
+		case *If:
+			ss[i] = collapseIf(s, n)
+		case *While:
+			s.Body = collapseStmts(s.Body, n)
+		}
+	}
+	return ss
+}
+
+func collapseIf(node *If, n *int) Stmt {
+	node.Then = collapseStmts(node.Then, n)
+	node.Else = collapseStmts(node.Else, n)
+	collapsed := false
+	for node.Secret && len(node.Else) == 0 && len(node.Then) == 1 {
+		inner, ok := node.Then[0].(*If)
+		if !ok || !inner.Secret || len(inner.Else) != 0 {
+			break
+		}
+		// Build a left-deep conjunction: once the accumulated condition is
+		// a 0/1 conjunction it needs no re-normalization, and left-deep
+		// trees evaluate with constant register pressure.
+		if !collapsed {
+			node.Cond = Bin{Ne, node.Cond, IntLit{0}}
+		}
+		node.Cond = Bin{And, node.Cond, Bin{Ne, inner.Cond, IntLit{0}}}
+		node.Then = inner.Then
+		collapsed = true
+		*n++
+	}
+	return node
+}

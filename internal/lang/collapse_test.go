@@ -1,0 +1,102 @@
+package lang
+
+import "testing"
+
+func deepThenChain(depth int, leaf Stmt) *Program {
+	body := []Stmt{leaf}
+	for i := depth - 1; i >= 0; i-- {
+		body = []Stmt{SecretIf(B(And, B(Shr, V("s"), N(int64(i))), N(1)), body, nil)}
+	}
+	return &Program{
+		Vars: []*VarDecl{{Name: "s", Init: 7, Secret: true}, {Name: "x", Init: 0}},
+		Body: body,
+	}
+}
+
+func countMaxSecretDepth(ss []Stmt) int {
+	max := 0
+	var walk func(ss []Stmt, d int)
+	walk = func(ss []Stmt, d int) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *If:
+				nd := d
+				if s.Secret {
+					nd++
+				}
+				if nd > max {
+					max = nd
+				}
+				walk(s.Then, nd)
+				walk(s.Else, nd)
+			case *While:
+				walk(s.Body, d)
+			}
+		}
+	}
+	walk(ss, 0)
+	return max
+}
+
+func TestCollapseNestedReducesDepth(t *testing.T) {
+	p := deepThenChain(5, Set("x", N(1)))
+	if d := countMaxSecretDepth(p.Body); d != 5 {
+		t.Fatalf("pre-collapse depth %d, want 5", d)
+	}
+	n := CollapseNested(p)
+	if n != 4 {
+		t.Errorf("collapses = %d, want 4", n)
+	}
+	if d := countMaxSecretDepth(p.Body); d != 1 {
+		t.Errorf("post-collapse depth %d, want 1", d)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollapseStopsAtElse(t *testing.T) {
+	// An else branch blocks collapsing (the semantics differ).
+	p := &Program{
+		Vars: []*VarDecl{{Name: "s", Secret: true}, {Name: "x"}},
+		Body: []Stmt{
+			SecretIf(V("s"),
+				[]Stmt{SecretIf(V("s"), []Stmt{Set("x", N(1))}, []Stmt{Set("x", N(2))})},
+				nil),
+		},
+	}
+	if n := CollapseNested(p); n != 0 {
+		t.Errorf("collapsed across an else branch: %d", n)
+	}
+}
+
+func TestCollapseStopsAtPublic(t *testing.T) {
+	// A public inner if must not merge into a secret condition.
+	p := &Program{
+		Vars: []*VarDecl{{Name: "s", Secret: true}, {Name: "x"}},
+		Body: []Stmt{
+			SecretIf(V("s"),
+				[]Stmt{PublicIf(V("x"), []Stmt{Set("x", N(1))}, nil)},
+				nil),
+		},
+	}
+	if n := CollapseNested(p); n != 0 {
+		t.Errorf("collapsed a public if: %d", n)
+	}
+}
+
+func TestCollapseInsideLoopsAndElses(t *testing.T) {
+	inner := SecretIf(V("s"), []Stmt{SecretIf(V("x"), []Stmt{Set("x", N(3))}, nil)}, nil)
+	p := &Program{
+		Vars: []*VarDecl{{Name: "s", Secret: true}, {Name: "x"}},
+		Body: []Stmt{
+			Loop(B(Lt, V("x"), N(2)), []Stmt{
+				PublicIf(V("x"), nil, []Stmt{inner}),
+				Set("x", B(Add, V("x"), N(1))),
+			}),
+		},
+	}
+	if n := CollapseNested(p); n != 1 {
+		t.Errorf("collapses = %d, want 1 (inside loop/else)", n)
+	}
+}

@@ -1,0 +1,157 @@
+package lang
+
+import "fmt"
+
+// TaintReport lists places where secret data influences control flow or
+// addresses without protection. It implements the paper's programming
+// model: the developer marks secrets, and every conditional whose condition
+// is secret-tainted must carry the Secret flag (so the compiler emits sJMP).
+// Secret-dependent memory indices are reported too: they are outside
+// SeMPE's threat model (the paper defers them to ORAM) and the programmer
+// should know.
+type TaintReport struct {
+	UnmarkedBranches []string // secret condition on a non-secret if
+	SecretLoopConds  []string // secret condition on a while (unsupported)
+	SecretIndices    []string // secret-tainted array index
+	MarkedPublic     []string // Secret flag on a condition with no taint (harmless)
+}
+
+// Clean reports whether no findings of consequence were produced.
+func (r *TaintReport) Clean() bool {
+	return len(r.UnmarkedBranches) == 0 && len(r.SecretLoopConds) == 0 &&
+		len(r.SecretIndices) == 0
+}
+
+// AnalyzeTaint runs a flow-insensitive taint analysis over the program:
+// variables declared Secret (and arrays declared Secret) are sources; any
+// value computed from a tainted value is tainted; assignments propagate
+// taint to their targets until a fixed point.
+func AnalyzeTaint(p *Program) *TaintReport {
+	tVar := map[string]bool{}
+	tArr := map[string]bool{}
+	for _, v := range p.Vars {
+		if v.Secret {
+			tVar[v.Name] = true
+		}
+	}
+	for _, a := range p.Arrays {
+		if a.Secret {
+			tArr[a.Name] = true
+		}
+	}
+
+	var exprTainted func(e Expr) bool
+	exprTainted = func(e Expr) bool {
+		switch e := e.(type) {
+		case IntLit:
+			return false
+		case VarRef:
+			return tVar[e.Name]
+		case Index:
+			return tArr[e.Arr] || exprTainted(e.Idx)
+		case Bin:
+			return exprTainted(e.A) || exprTainted(e.B)
+		case Select:
+			// A constant-time select propagates data taint but — unlike a
+			// branch — creates no control-flow channel.
+			return exprTainted(e.Cond) || exprTainted(e.A) || exprTainted(e.B)
+		}
+		return false
+	}
+
+	// Propagate to a fixed point: loops and cross-statement flows converge
+	// because taint only ever grows.
+	changed := true
+	var propagate func(ss []Stmt, pathTaint bool)
+	propagate = func(ss []Stmt, pathTaint bool) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *Assign:
+				if (exprTainted(s.E) || pathTaint) && !tVar[s.Name] {
+					tVar[s.Name] = true
+					changed = true
+				}
+			case *Store:
+				if (exprTainted(s.Val) || exprTainted(s.Idx) || pathTaint) && !tArr[s.Arr] {
+					tArr[s.Arr] = true
+					changed = true
+				}
+			case *If:
+				// Writes under an *unmarked* secret-tainted condition carry
+				// implicit flow: their targets become tainted. A marked
+				// secret if is protected by the backend (sJMP dual-path or
+				// CTE masking), which closes the control-flow channel; the
+				// values written may still differ per path, but since both
+				// paths compute from the same (public-pattern) state, the
+				// analysis follows the paper's model and treats them as
+				// data, not control leaks.
+				pt := pathTaint || (exprTainted(s.Cond) && !s.Secret)
+				propagate(s.Then, pt)
+				propagate(s.Else, pt)
+			case *While:
+				pt := pathTaint || exprTainted(s.Cond)
+				propagate(s.Body, pt)
+			}
+		}
+	}
+	for changed {
+		changed = false
+		propagate(p.Body, false)
+	}
+
+	// Report.
+	rep := &TaintReport{}
+	var indexTaintedIn func(e Expr) bool
+	indexTaintedIn = func(e Expr) bool {
+		switch e := e.(type) {
+		case Index:
+			return exprTainted(e.Idx) || indexTaintedIn(e.Idx)
+		case Bin:
+			return indexTaintedIn(e.A) || indexTaintedIn(e.B)
+		case Select:
+			return indexTaintedIn(e.Cond) || indexTaintedIn(e.A) || indexTaintedIn(e.B)
+		}
+		return false
+	}
+	var walk func(ss []Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *Assign:
+				if indexTaintedIn(s.E) {
+					rep.SecretIndices = append(rep.SecretIndices,
+						fmt.Sprintf("assignment to %s reads a secret-indexed element", s.Name))
+				}
+			case *Store:
+				if exprTainted(s.Idx) {
+					rep.SecretIndices = append(rep.SecretIndices,
+						fmt.Sprintf("store to %s uses a secret index", s.Arr))
+				}
+				if indexTaintedIn(s.Val) {
+					rep.SecretIndices = append(rep.SecretIndices,
+						fmt.Sprintf("store to %s reads a secret-indexed element", s.Arr))
+				}
+			case *If:
+				tainted := exprTainted(s.Cond)
+				switch {
+				case tainted && !s.Secret:
+					rep.UnmarkedBranches = append(rep.UnmarkedBranches,
+						fmt.Sprintf("if (%s) has a secret-dependent condition but no @secret mark", s.Cond))
+				case !tainted && s.Secret:
+					rep.MarkedPublic = append(rep.MarkedPublic,
+						fmt.Sprintf("if (%s) is marked secret but its condition is public", s.Cond))
+				}
+				walk(s.Then)
+				walk(s.Else)
+			case *While:
+				if exprTainted(s.Cond) {
+					rep.SecretLoopConds = append(rep.SecretLoopConds,
+						fmt.Sprintf("while (%s) has a secret-dependent condition", s.Cond))
+				}
+				walk(s.Body)
+			}
+		}
+	}
+	walk(p.Body)
+	return rep
+}

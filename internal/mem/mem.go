@@ -1,0 +1,182 @@
+// Package mem provides the memory substrates of the simulator: a sparse flat
+// main memory and the SeMPE Scratchpad Memory (SPM) used for architectural
+// register snapshots.
+package mem
+
+import "repro/internal/isa"
+
+// pageBits selects a 16 KiB page for the sparse backing store. This is a
+// simulator implementation detail, unrelated to the simulated 4 MiB VM pages
+// from the paper's Table II (no TLB is modeled).
+const pageBits = 14
+
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, byte-addressable 64-bit memory. Reads of unbacked
+// addresses return zero; writes allocate pages on demand. All methods are
+// deterministic, which the leak checker depends on.
+type Memory struct {
+	pages map[uint64][]byte
+}
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64][]byte)}
+}
+
+// Load copies a program image (code and data segments) into memory.
+func (m *Memory) Load(p *isa.Program) {
+	m.WriteBytes(p.CodeBase, p.Code)
+	for _, seg := range p.Data {
+		m.WriteBytes(seg.Base, seg.Bytes)
+	}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) []byte {
+	key := addr >> pageBits
+	pg, ok := m.pages[key]
+	if !ok && alloc {
+		pg = make([]byte, pageSize)
+		m.pages[key] = pg
+	}
+	return pg
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint64) byte {
+	pg := m.page(addr, false)
+	if pg == nil {
+		return 0
+	}
+	return pg[addr&(pageSize-1)]
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint64, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read64 returns the little-endian 64-bit word at addr (any alignment).
+func (m *Memory) Read64(addr uint64) uint64 {
+	// Fast path: within one page.
+	off := addr & (pageSize - 1)
+	if off+8 <= pageSize {
+		pg := m.page(addr, false)
+		if pg == nil {
+			return 0
+		}
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(pg[off+uint64(i)])
+		}
+		return v
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(m.Read8(addr+uint64(i)))
+	}
+	return v
+}
+
+// Write64 stores a little-endian 64-bit word at addr (any alignment).
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & (pageSize - 1)
+	if off+8 <= pageSize {
+		pg := m.page(addr, true)
+		for i := 0; i < 8; i++ {
+			pg[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := 0; i < 8; i++ {
+		m.Write8(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Read8(addr + uint64(i))
+	}
+	return out
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		m.Write8(addr+uint64(i), v)
+	}
+}
+
+// Clone returns a deep copy of the memory image. Used by differential tests
+// that run the same image on two machines.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for k, pg := range m.pages {
+		dup := make([]byte, pageSize)
+		copy(dup, pg)
+		c.pages[k] = dup
+	}
+	return c
+}
+
+// Equal reports whether two memories hold identical contents. Zero-filled
+// pages compare equal to absent pages.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.diffAgainst(o) && o.diffAgainst(m)
+}
+
+func (m *Memory) diffAgainst(o *Memory) bool {
+	for k, pg := range m.pages {
+		opg := o.pages[k]
+		if opg == nil {
+			for _, b := range pg {
+				if b != 0 {
+					return false
+				}
+			}
+			continue
+		}
+		for i, b := range pg {
+			if b != opg[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FirstDiff returns the lowest address at which the two memories differ and
+// true, or 0 and false if they are identical.
+func (m *Memory) FirstDiff(o *Memory) (uint64, bool) {
+	seen := make(map[uint64]bool)
+	var keys []uint64
+	for k := range m.pages {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range o.pages {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sortU64(keys)
+	for _, k := range keys {
+		base := k << pageBits
+		for i := uint64(0); i < pageSize; i++ {
+			if m.Read8(base+i) != o.Read8(base+i) {
+				return base + i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package pipeline
+
+import (
+	"repro/internal/isa"
+)
+
+// issue selects ready micro-ops from the issue queue (oldest first, up to
+// IssueWidth and the per-class functional-unit limits), reads their
+// operands, computes results, and schedules completion.
+func (c *Core) issue() {
+	issued := 0
+	alu, muldiv, load, store, branch := 0, 0, 0, 0, 0
+	out := c.iq[:0]
+	for _, u := range c.iq {
+		if issued >= c.cfg.IssueWidth {
+			out = append(out, u)
+			continue
+		}
+		if !c.operandsReady(u) {
+			out = append(out, u)
+			continue
+		}
+		cl := u.class()
+		var ok bool
+		switch cl {
+		case isa.ClassALU, isa.ClassCMov:
+			if alu < c.cfg.NumALU {
+				alu++
+				ok = true
+			}
+		case isa.ClassMul, isa.ClassDiv:
+			if muldiv < c.cfg.NumMulDiv {
+				muldiv++
+				ok = true
+			}
+		case isa.ClassLoad:
+			if load < c.cfg.NumLoad && c.loadCanExecute(u) {
+				load++
+				ok = true
+			}
+		case isa.ClassStore:
+			if store < c.cfg.NumStore {
+				store++
+				ok = true
+			}
+		case isa.ClassBranch, isa.ClassJump:
+			if branch < c.cfg.NumBranch {
+				branch++
+				ok = true
+			}
+		}
+		if !ok {
+			out = append(out, u)
+			continue
+		}
+		c.execute(u)
+		issued++
+	}
+	c.iq = out
+}
+
+// operandsReady reports whether all renamed sources have produced values.
+func (c *Core) operandsReady(u *uop) bool {
+	if u.ps1 >= 0 && !c.physReady[u.ps1] {
+		return false
+	}
+	if u.ps2 >= 0 && !c.physReady[u.ps2] {
+		return false
+	}
+	if u.ps3 >= 0 && !c.physReady[u.ps3] {
+		return false
+	}
+	return true
+}
+
+func (c *Core) srcVal(p int) uint64 {
+	if p < 0 {
+		return 0
+	}
+	return c.physVal[p]
+}
+
+// execute computes u's result and schedules its completion.
+func (c *Core) execute(u *uop) {
+	u.issued = true
+	in := u.inst
+	a := c.srcVal(u.ps1)
+	b := c.srcVal(u.ps2)
+	old := c.srcVal(u.ps3)
+
+	switch u.class() {
+	case isa.ClassBranch:
+		u.actualTaken = isa.BranchTaken(in.Op, a, b)
+		u.actualTarget = u.pc + uint64(in.Imm)
+		if !u.actualTaken {
+			u.actualTarget = u.npc
+		}
+		if u.isSJmp {
+			// sJMP never redirects at execute: the fall-through (NT) path is
+			// architecturally first, and the commit-time controller uses the
+			// computed target. The taken target is stored regardless of the
+			// outcome so jbTable contents never depend on the secret's
+			// data-path timing.
+			u.actualTarget = u.pc + uint64(in.Imm)
+			u.mispredict = false
+		} else {
+			predPC := u.npc
+			if u.predTaken {
+				predPC = u.predTarget
+			}
+			u.mispredict = u.actualTarget != predPC
+		}
+		u.doneCycle = c.cycle + uint64(c.cfg.LatBranch)
+	case isa.ClassJump:
+		switch in.Op {
+		case isa.OpJmp:
+			u.actualTarget = u.pc + uint64(in.Imm)
+		case isa.OpJal:
+			u.actualTarget = u.pc + uint64(in.Imm)
+			u.result = u.npc
+		case isa.OpJalr:
+			u.actualTarget = a + uint64(in.Imm)
+			u.result = u.npc
+		}
+		u.actualTaken = true
+		u.mispredict = u.actualTarget != u.predTarget
+		u.doneCycle = c.cycle + uint64(c.cfg.LatBranch)
+	case isa.ClassLoad:
+		u.memAddr = isa.MemAddr(in, a)
+		lat, forwarded, val := c.loadAccess(u)
+		u.result = val
+		_ = forwarded
+		u.doneCycle = c.cycle + uint64(c.cfg.LatAGU+lat)
+	case isa.ClassStore:
+		u.memAddr = isa.MemAddr(in, a)
+		u.storeData = old // ps3 carries the data register
+		u.doneCycle = c.cycle + uint64(c.cfg.LatAGU)
+	case isa.ClassMul:
+		u.result, _ = isa.EvalALU(in, a, b, old)
+		u.doneCycle = c.cycle + uint64(c.cfg.LatMul)
+	case isa.ClassDiv:
+		u.result, _ = isa.EvalALU(in, a, b, old)
+		u.doneCycle = c.cycle + uint64(c.cfg.LatDiv)
+	default:
+		u.result, _ = isa.EvalALU(in, a, b, old)
+		u.doneCycle = c.cycle + uint64(c.cfg.LatALU)
+	}
+	c.exec = append(c.exec, u)
+}
+
+// loadCanExecute implements conservative memory disambiguation: a load may
+// execute only when every older store in the store queue has computed its
+// address, and any overlapping older store either fully covers the load
+// (store-to-load forwarding) or has already left the queue.
+func (c *Core) loadCanExecute(u *uop) bool {
+	for _, s := range c.sq {
+		if s.seq >= u.seq {
+			break
+		}
+		if !s.issued {
+			return false // unknown address: wait
+		}
+	}
+	// All older store addresses known; check overlap.
+	if s := c.youngestOverlapping(u); s != nil {
+		if covers(s, u) {
+			return true // will forward
+		}
+		return false // partial overlap: wait for the store to commit
+	}
+	return true
+}
+
+func (c *Core) youngestOverlapping(u *uop) *uop {
+	var found *uop
+	for _, s := range c.sq {
+		if s.seq >= u.seq {
+			break
+		}
+		if overlaps(s, u) {
+			found = s
+		}
+	}
+	return found
+}
+
+func overlaps(s, l *uop) bool {
+	sEnd := s.memAddr + uint64(s.memWidth)
+	lEnd := l.memAddr + uint64(l.memWidth)
+	return s.memAddr < lEnd && l.memAddr < sEnd
+}
+
+func covers(s, l *uop) bool {
+	return s.memAddr <= l.memAddr &&
+		s.memAddr+uint64(s.memWidth) >= l.memAddr+uint64(l.memWidth)
+}
+
+// loadAccess returns (cache latency, forwarded, value) for a load whose
+// address is computed. Forwarded loads still probe the DL1 for timing/stats
+// realism? No: a forwarded load is satisfied from the store queue and does
+// not access the cache, matching conventional store-to-load forwarding.
+func (c *Core) loadAccess(u *uop) (int, bool, uint64) {
+	if s := c.youngestOverlapping(u); s != nil && covers(s, u) {
+		c.Stats.LoadForwards++
+		off := u.memAddr - s.memAddr
+		val := s.storeData >> (8 * off)
+		if u.memWidth == 1 {
+			val &= 0xFF
+		}
+		return 1, true, val
+	}
+	var val uint64
+	if u.memWidth == 8 {
+		val = c.mem.Read64(u.memAddr)
+	} else {
+		val = uint64(c.mem.Read8(u.memAddr))
+	}
+	lat := c.Hier.DL1.AccessPC(u.pc, u.memAddr, false)
+	return lat, false, val
+}
+
+// writeback completes executed micro-ops whose latency has elapsed, wakes
+// dependents, and resolves branch mispredictions (oldest first).
+func (c *Core) writeback() {
+	// exec is kept in program order (issue preserves order of insertion by
+	// seq within a cycle and ROB order across cycles is close enough for
+	// oldest-first resolution; sort defensively by seq).
+	insertionSortBySeq(c.exec)
+	out := c.exec[:0]
+	for _, u := range c.exec {
+		if u.squashed {
+			continue
+		}
+		if u.doneCycle > c.cycle {
+			out = append(out, u)
+			continue
+		}
+		if u.hasDest {
+			c.physVal[u.pd] = u.result
+			c.physReady[u.pd] = true
+		}
+		u.completed = true
+		if u.mispredict {
+			c.Stats.BranchMispredicts++
+			c.flushAfter(u, u.actualTarget)
+			// flushAfter marked younger ops squashed; drop any already
+			// copied into out.
+			rebuilt := out[:0]
+			for _, v := range out {
+				if !v.squashed {
+					rebuilt = append(rebuilt, v)
+				}
+			}
+			out = rebuilt
+		}
+	}
+	c.exec = out
+}
+
+func insertionSortBySeq(s []*uop) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].seq < s[j-1].seq; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

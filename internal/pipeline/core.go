@@ -1,0 +1,203 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/sempe"
+)
+
+// Core is one simulated processor instance. A Core runs a single program to
+// completion; construct a fresh Core per run.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+	mem  *mem.Memory
+
+	Hier *cache.Hierarchy
+	BP   *bpred.Unit
+	JB   *sempe.JBTable
+	SPM  *mem.SPM
+
+	stridePF *prefetch.Stride
+	streamPF *prefetch.Stream
+
+	cycle uint64
+	seq   uint64
+
+	// Committed architectural state.
+	archRegs [isa.NumArchRegs]uint64
+	halted   bool
+
+	// Rename structures.
+	rat       [isa.NumArchRegs]int
+	physVal   []uint64
+	physReady []bool
+	freeList  []int
+
+	// Reorder buffer: a ring of in-flight micro-ops.
+	rob      []*uop
+	robHead  int
+	robCount int
+
+	// Scheduler and memory queues (kept in program order).
+	iq   []*uop
+	lq   []*uop
+	sq   []*uop
+	exec []*uop
+
+	// Front end.
+	fetchPC         uint64
+	fetchStallUntil uint64
+	fetchHalted     bool // fetched a HALT; wait for commit or flush
+	fetchBroken     bool // undecodable bytes (wrong path); wait for flush
+	fetchBuf        []*uop
+	decodeQ         []*uop
+
+	// SeMPE sequencing. renameBlocked holds rename while an eosJMP is in
+	// flight (pipeline drain 2/3 of the paper's Fig. 6); renameStallUntil
+	// serializes the ArchRS save/restore SPM traffic after drains; ovfDepth
+	// counts live secure regions downgraded to non-secure by the overflow
+	// policy.
+	renameBlocked    bool
+	renameStallUntil uint64
+	ovfDepth         int
+	inTScratch       []bool
+
+	// Observable digests for the leak checker.
+	commitDigest uint64
+	memDigest    uint64
+
+	// Optional full-trace capture (leak diffing in tests).
+	TraceCommits bool
+	CommitPCs    []uint64
+	MemTrace     []uint64
+
+	lastCommitCycle uint64
+
+	Stats Stats
+}
+
+// Errors returned by Run.
+var (
+	ErrMaxCycles = errors.New("pipeline: cycle budget exhausted")
+	ErrDeadlock  = errors.New("pipeline: watchdog expired (no commits)")
+)
+
+// New builds a core for the given program. The memory image is created from
+// the program; use NewOnMemory to supply a prepared image.
+func New(cfg Config, prog *isa.Program) *Core {
+	m := mem.NewMemory()
+	m.Load(prog)
+	return NewOnMemory(cfg, prog, m)
+}
+
+// NewOnMemory builds a core running prog on an existing memory image.
+func NewOnMemory(cfg Config, prog *isa.Program, memory *mem.Memory) *Core {
+	c := &Core{
+		cfg:       cfg,
+		prog:      prog,
+		mem:       memory,
+		Hier:      cache.NewHierarchy(cfg.Caches),
+		BP:        bpred.NewUnit(),
+		JB:        sempe.NewJBTable(cfg.SPM.Slots),
+		SPM:       mem.NewSPM(cfg.SPM),
+		physVal:   make([]uint64, cfg.PhysRegs),
+		physReady: make([]bool, cfg.PhysRegs),
+		rob:       make([]*uop, cfg.ROBSize),
+		fetchPC:   prog.Entry,
+	}
+	if cfg.StridePrefetchTable > 0 {
+		c.stridePF = prefetch.NewStride(c.Hier.DL1, cfg.StridePrefetchTable, cfg.StridePrefetchDegree)
+		c.Hier.DL1.SetObserver(c.stridePF)
+	}
+	if cfg.StreamWindow > 0 {
+		c.streamPF = prefetch.NewStream(c.Hier.L2, cfg.StreamWindow, cfg.StreamDepth)
+		c.Hier.L2.SetObserver(c.streamPF)
+	}
+	// Initial rename map: architectural register r lives in physical r.
+	c.archRegs[isa.SP] = isa.DefaultStackTop
+	for r := 0; r < isa.NumArchRegs; r++ {
+		c.rat[r] = r
+		c.physVal[r] = c.archRegs[r]
+		c.physReady[r] = true
+	}
+	for p := isa.NumArchRegs; p < cfg.PhysRegs; p++ {
+		c.freeList = append(c.freeList, p)
+	}
+	c.commitDigest = fnvOffset
+	c.memDigest = fnvOffset
+	return c
+}
+
+// Mem exposes the memory image (for result checking after a run).
+func (c *Core) Mem() *mem.Memory { return c.mem }
+
+// ArchRegs returns the committed architectural register file.
+func (c *Core) ArchRegs() [isa.NumArchRegs]uint64 { return c.archRegs }
+
+// Halted reports whether HALT has committed.
+func (c *Core) Halted() bool { return c.halted }
+
+// Cycles returns the current cycle count.
+func (c *Core) Cycles() uint64 { return c.cycle }
+
+// CommitDigest returns a fingerprint of the committed-PC stream, one of the
+// attacker-observable traces the leak checker compares.
+func (c *Core) CommitDigest() uint64 { return c.commitDigest }
+
+// MemDigest returns a fingerprint of the committed memory-access address
+// stream (addresses and read/write kinds, in commit order).
+func (c *Core) MemDigest() uint64 { return c.memDigest }
+
+// Run simulates until HALT commits. It returns an error on cycle-budget
+// exhaustion, deadlock, or a SeMPE protocol violation (e.g. jbTable
+// overflow).
+func (c *Core) Run() error {
+	for !c.halted {
+		if err := c.StepCycle(); err != nil {
+			return err
+		}
+		if c.cfg.MaxCycles > 0 && c.cycle > c.cfg.MaxCycles {
+			return fmt.Errorf("%w (%d)", ErrMaxCycles, c.cfg.MaxCycles)
+		}
+		if c.cfg.WatchdogCycles > 0 && c.cycle-c.lastCommitCycle > c.cfg.WatchdogCycles {
+			return fmt.Errorf("%w at cycle %d (pc=%#x rob=%d)", ErrDeadlock, c.cycle, c.fetchPC, c.robCount)
+		}
+	}
+	return nil
+}
+
+// StepCycle advances the machine one clock. Stages run in reverse pipeline
+// order so that each consumes state produced in earlier cycles.
+func (c *Core) StepCycle() error {
+	c.cycle++
+	c.Stats.Cycles = c.cycle
+	if err := c.retire(); err != nil {
+		return err
+	}
+	if c.halted {
+		return nil
+	}
+	c.writeback()
+	c.issue()
+	c.rename()
+	c.decode()
+	c.fetch()
+	return nil
+}
+
+const fnvOffset = 1469598103934665603
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xFF
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,332 @@
+package pipeline
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// fetch reads and predecodes up to FetchWidth instructions per cycle from
+// the program image, consulting the IL1 for every distinct cache line
+// touched and the branch predictors for control flow. Secure branches are
+// never predicted: under SeMPE an sJMP always falls through into the
+// not-taken path, so the fetch stream carries no information about the
+// secret (and the predictor state is never updated by it).
+func (c *Core) fetch() {
+	if c.fetchHalted || c.fetchBroken {
+		return
+	}
+	if c.cycle < c.fetchStallUntil {
+		c.Stats.FetchStallCycles++
+		return
+	}
+	var lastLine uint64 = ^uint64(0)
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchBuf) < c.cfg.FetchBufSize; n++ {
+		pc := c.fetchPC
+		if pc < c.prog.CodeBase || pc >= c.prog.CodeEnd() {
+			// Fetch wandered outside the code image: only possible on a
+			// wrong path. Stall until a flush redirects us.
+			c.fetchBroken = true
+			return
+		}
+		off := int(pc - c.prog.CodeBase)
+		inst, size, err := isa.Decode(c.prog.Code, off)
+		if err != nil {
+			c.fetchBroken = true
+			return
+		}
+		// Charge IL1 for each distinct line the instruction bytes touch.
+		for a := pc &^ (cache.LineSize - 1); a < pc+uint64(size); a += cache.LineSize {
+			if a == lastLine {
+				continue
+			}
+			lat := c.Hier.IL1.AccessPC(pc, a, false)
+			lastLine = a
+			if lat > c.cfg.Caches.IL1.HitLatency {
+				// Instruction miss: stall the front end; retry this
+				// instruction when the fill completes.
+				c.fetchStallUntil = c.cycle + uint64(lat)
+				return
+			}
+		}
+
+		u := &uop{
+			seq:  c.seq,
+			inst: inst,
+			pc:   pc,
+			npc:  pc + uint64(size),
+		}
+		c.seq++
+
+		redirected := c.predecode(u)
+		c.fetchBuf = append(c.fetchBuf, u)
+		if u.inst.Op == isa.OpHalt {
+			c.fetchHalted = true
+			return
+		}
+		if redirected {
+			// One taken control transfer per fetch group.
+			return
+		}
+	}
+}
+
+// predecode sets the front-end prediction state of u and advances fetchPC.
+// It reports whether the fetch group must end because of a (predicted-)
+// taken control transfer.
+func (c *Core) predecode(u *uop) bool {
+	in := u.inst
+	secureMode := c.cfg.SeMPE
+	switch {
+	case in.IsSJmp() && secureMode:
+		u.isSJmp = true
+		// No branch-predictor consultation: always fall through to the
+		// not-taken SecBlock first.
+		u.predTaken = false
+		c.fetchPC = u.npc
+		return false
+	case in.IsEOSJmp() && secureMode:
+		u.isEOSJmp = true
+		// The jump-back, if any, happens at commit; fetch continues
+		// sequentially and is flushed on redirect.
+		c.fetchPC = u.npc
+		return false
+	case in.Op.IsBranch():
+		u.predTaken = c.BP.PredictBranch(u.pc)
+		u.predTarget = u.pc + uint64(in.Imm)
+		if u.predTaken {
+			c.fetchPC = u.predTarget
+			return true
+		}
+		c.fetchPC = u.npc
+		return false
+	case in.Op == isa.OpJmp:
+		u.predTaken = true
+		u.predTarget = u.pc + uint64(in.Imm)
+		c.fetchPC = u.predTarget
+		return true
+	case in.Op == isa.OpJal:
+		u.predTaken = true
+		u.predTarget = u.pc + uint64(in.Imm)
+		if in.Rd == isa.LR {
+			c.BP.PushReturn(u.npc)
+		}
+		c.fetchPC = u.predTarget
+		return true
+	case in.Op == isa.OpJalr:
+		u.predTaken = true
+		if in.Rd == isa.RZ && in.Ra == isa.LR {
+			// Return idiom: predict via the return-address stack.
+			if t, ok := c.BP.PopReturn(); ok {
+				u.predTarget = t
+			} else {
+				u.predTarget = u.npc
+			}
+		} else {
+			if t, ok := c.BP.PredictIndirect(u.pc); ok {
+				u.predTarget = t
+			} else {
+				u.predTarget = u.npc
+			}
+			if in.Rd == isa.LR {
+				c.BP.PushReturn(u.npc)
+			}
+		}
+		c.fetchPC = u.predTarget
+		return true
+	default:
+		c.fetchPC = u.npc
+		return false
+	}
+}
+
+// decode moves predecoded micro-ops into the decode queue.
+func (c *Core) decode() {
+	n := 0
+	for n < c.cfg.DecodeWidth && len(c.fetchBuf) > 0 && len(c.decodeQ) < c.cfg.DecodeQSize {
+		c.decodeQ = append(c.decodeQ, c.fetchBuf[0])
+		c.fetchBuf = c.fetchBuf[1:]
+		n++
+	}
+}
+
+// rename allocates physical registers and dispatches micro-ops into the
+// ROB, issue queue, and load/store queues. Under SeMPE it implements the
+// paper's pipeline drains: an sJMP or eosJMP only renames once the ROB is
+// empty, and rename stays blocked after an eosJMP until it commits, so the
+// instruction window never holds instructions from both paths at once.
+func (c *Core) rename() {
+	if c.renameBlocked {
+		c.Stats.DrainStallCycles++
+		return
+	}
+	if c.cycle < c.renameStallUntil {
+		c.Stats.SPMStallCycles++
+		return
+	}
+	for n := 0; n < c.cfg.RenameWidth && len(c.decodeQ) > 0; n++ {
+		u := c.decodeQ[0]
+		if c.cfg.SeMPE && (u.isSJmp || u.isEOSJmp) && c.robCount > 0 {
+			// Drain: wait until every older instruction has committed.
+			c.Stats.DrainStallCycles++
+			return
+		}
+		if !c.dispatchReady(u) {
+			return
+		}
+		c.decodeQ = c.decodeQ[1:]
+		c.renameOne(u)
+		if c.cfg.SeMPE && u.isEOSJmp {
+			// Stay drained until the eosJMP commits and the ArchRS
+			// controller has restored register state.
+			c.renameBlocked = true
+			return
+		}
+	}
+}
+
+// dispatchReady checks structural resources for one micro-op.
+func (c *Core) dispatchReady(u *uop) bool {
+	if c.robCount >= c.cfg.ROBSize {
+		return false
+	}
+	needsDest := u.inst.WritesRd()
+	if needsDest && len(c.freeList) == 0 {
+		return false
+	}
+	cl := u.class()
+	switch cl {
+	case isa.ClassLoad:
+		if len(c.lq) >= c.cfg.LQSize {
+			return false
+		}
+	case isa.ClassStore:
+		if len(c.sq) >= c.cfg.SQSize {
+			return false
+		}
+	}
+	if cl != isa.ClassSys && len(c.iq) >= c.cfg.IQSize {
+		return false
+	}
+	return true
+}
+
+// renameOne performs register renaming and dispatch for one micro-op.
+func (c *Core) renameOne(u *uop) {
+	in := u.inst
+	u.ps1, u.ps2, u.ps3 = -1, -1, -1
+	cl := u.class()
+
+	switch {
+	case cl == isa.ClassStore:
+		u.ps1 = c.rat[in.Ra] // address base
+		u.ps3 = c.rat[in.Rd] // store data
+		u.isStore = true
+		u.memWidth = isa.MemWidth(in.Op)
+	case cl == isa.ClassLoad:
+		u.ps1 = c.rat[in.Ra]
+		u.isLoad = true
+		u.memWidth = isa.MemWidth(in.Op)
+	case cl == isa.ClassCMov:
+		u.ps1 = c.rat[in.Ra]
+		u.ps2 = c.rat[in.Rb]
+		u.ps3 = c.rat[in.Rd] // old destination value
+	case cl == isa.ClassBranch:
+		u.ps1 = c.rat[in.Ra]
+		u.ps2 = c.rat[in.Rb]
+	case in.Op == isa.OpJalr:
+		u.ps1 = c.rat[in.Ra]
+	default:
+		var srcs [3]isa.Reg
+		for _, r := range in.SrcRegs(srcs[:0]) {
+			if u.ps1 < 0 {
+				u.ps1 = c.rat[r]
+			} else if u.ps2 < 0 {
+				u.ps2 = c.rat[r]
+			}
+		}
+	}
+
+	u.pd, u.oldPd = -1, -1
+	if in.WritesRd() {
+		u.hasDest = true
+		u.oldPd = c.rat[in.Rd]
+		u.pd = c.freeList[len(c.freeList)-1]
+		c.freeList = c.freeList[:len(c.freeList)-1]
+		c.physReady[u.pd] = false
+		c.rat[in.Rd] = u.pd
+	}
+
+	// ROB allocation.
+	pos := (c.robHead + c.robCount) % c.cfg.ROBSize
+	c.rob[pos] = u
+	c.robCount++
+
+	switch cl {
+	case isa.ClassSys:
+		// NOP, HALT, eosJMP: nothing to execute.
+		u.completed = true
+		u.doneCycle = c.cycle
+	case isa.ClassLoad:
+		c.lq = append(c.lq, u)
+		c.iq = append(c.iq, u)
+	case isa.ClassStore:
+		c.sq = append(c.sq, u)
+		c.iq = append(c.iq, u)
+	default:
+		c.iq = append(c.iq, u)
+	}
+}
+
+// flushAfter squashes every micro-op younger than u, repairs the rename map
+// by walking the ROB from youngest to oldest, and redirects fetch to target.
+func (c *Core) flushAfter(u *uop, target uint64) {
+	c.Stats.Flushes++
+	// Walk the ROB backwards, undoing rename state.
+	for c.robCount > 0 {
+		pos := (c.robHead + c.robCount - 1) % c.cfg.ROBSize
+		y := c.rob[pos]
+		if y.seq <= u.seq {
+			break
+		}
+		if y.hasDest {
+			c.rat[y.inst.Rd] = y.oldPd
+			c.freeList = append(c.freeList, y.pd)
+		}
+		y.squashed = true
+		c.robCount--
+	}
+	c.iq = filterSquashed(c.iq)
+	c.lq = filterSquashed(c.lq)
+	c.sq = filterSquashed(c.sq)
+	// exec is not compacted here: writeback iterates it and drops squashed
+	// entries itself (compacting the shared backing array mid-iteration
+	// would corrupt the walk).
+	c.redirectFrontEnd(target)
+}
+
+// redirectFrontEnd clears all fetched-but-not-renamed state and restarts
+// fetch at target after the redirect penalty.
+func (c *Core) redirectFrontEnd(target uint64) {
+	for _, u := range c.fetchBuf {
+		u.squashed = true
+	}
+	for _, u := range c.decodeQ {
+		u.squashed = true
+	}
+	c.fetchBuf = c.fetchBuf[:0]
+	c.decodeQ = c.decodeQ[:0]
+	c.fetchPC = target
+	c.fetchHalted = false
+	c.fetchBroken = false
+	c.fetchStallUntil = c.cycle + uint64(c.cfg.RedirectPenalty)
+}
+
+func filterSquashed(q []*uop) []*uop {
+	out := q[:0]
+	for _, u := range q {
+		if !u.squashed {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package pipeline
+
+import "repro/internal/isa"
+
+// uop is one in-flight micro-operation. The simulated ISA maps 1:1 from
+// instructions to micro-ops.
+type uop struct {
+	seq  uint64 // global program-order sequence number
+	inst isa.Inst
+	pc   uint64 // address of the first byte (including SecPrefix)
+	npc  uint64 // next sequential pc
+
+	// Front-end prediction state.
+	predTaken  bool
+	predTarget uint64
+
+	// Rename state. Negative physical register indices mean "unused".
+	ps1, ps2, ps3 int // sources: Ra, Rb, old-Rd (ST data / CMOV old value)
+	pd            int // destination physical register
+	oldPd         int // previous mapping of Rd, freed at commit
+	hasDest       bool
+
+	// Execution state.
+	issued    bool
+	completed bool
+	doneCycle uint64
+	result    uint64
+
+	// Memory state.
+	isLoad    bool
+	isStore   bool
+	memAddr   uint64
+	memWidth  int
+	storeData uint64
+
+	// Control-flow resolution.
+	actualTaken  bool
+	actualTarget uint64
+	mispredict   bool
+
+	// SeMPE roles (set only when the core runs with SeMPE enabled).
+	isSJmp   bool
+	isEOSJmp bool
+
+	squashed bool
+}
+
+// class returns the functional-unit class of the micro-op.
+func (u *uop) class() isa.Class { return u.inst.Op.ClassOf() }

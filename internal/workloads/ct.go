@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// This file holds the constant-time kernel variants: the analogue of the
+// paper's FaCT rewrites. Every algorithm-state write is gated on the
+// enclosing chain mask through a ct-select, and the mask combination is
+// re-evaluated per statement — matching the per-statement expression blowup
+// of hand-written CTE (paper Fig. 2). Loop counters and other scaffolding
+// stay plain: their bounds are public worst cases, exactly as FaCT requires.
+
+// mset is a masked scalar assignment: name = chain ? e : name.
+func mset(chain lang.Expr, name string, e lang.Expr) lang.Stmt {
+	return lang.Set(name, lang.Sel(chain, e, lang.V(name)))
+}
+
+// mput is a masked array store: arr[idx] = chain ? e : arr[idx]. The element
+// is read and written regardless of the mask, keeping the access pattern
+// constant.
+func mput(chain lang.Expr, arr string, idx, e lang.Expr) lang.Stmt {
+	return lang.Put(arr, idx, lang.Sel(chain, e, lang.At(arr, idx)))
+}
+
+// ctBody returns the constant-time variant of kernel k, gated on chain.
+func ctBody(k Kind, n int, chain lang.Expr) []lang.Stmt {
+	switch k {
+	case Fibonacci:
+		return []lang.Stmt{
+			mset(chain, "fa", lang.N(0)),
+			mset(chain, "fb", lang.N(1)),
+			lang.Set("fi", lang.N(0)),
+			lang.Loop(lang.B(lang.Lt, lang.V("fi"), lang.N(int64(n))), []lang.Stmt{
+				mset(chain, "ft", lang.B(lang.Add, lang.V("fa"), lang.V("fb"))),
+				mset(chain, "fa", lang.V("fb")),
+				mset(chain, "fb", lang.V("ft")),
+				lang.Set("fi", lang.B(lang.Add, lang.V("fi"), lang.N(1))),
+			}),
+			mset(chain, "cksum", lang.B(lang.Add, lang.V("cksum"), lang.V("fb"))),
+		}
+	case Ones:
+		return []lang.Stmt{
+			mset(chain, "ov", lang.B(lang.Add, lang.N(12345),
+				lang.B(lang.Mul, lang.V("iter"), lang.N(48271)))),
+			lang.Set("oi", lang.N(0)),
+			lang.Loop(lang.B(lang.Lt, lang.V("oi"), lang.N(int64(n))), []lang.Stmt{
+				mset(chain, "ov", lcg("ov")),
+				mput(chain, "ovec", lang.V("oi"), lang.V("ov")),
+				lang.Set("oi", lang.B(lang.Add, lang.V("oi"), lang.N(1))),
+			}),
+			mset(chain, "ocnt", lang.N(0)),
+			lang.Set("oi", lang.N(0)),
+			lang.Loop(lang.B(lang.Lt, lang.V("oi"), lang.N(int64(n))), []lang.Stmt{
+				mset(chain, "ocnt", lang.B(lang.Add, lang.V("ocnt"),
+					lang.B(lang.And, lang.At("ovec", lang.V("oi")), lang.N(1)))),
+				lang.Set("oi", lang.B(lang.Add, lang.V("oi"), lang.N(1))),
+			}),
+			mset(chain, "cksum", lang.B(lang.Add, lang.V("cksum"), lang.V("ocnt"))),
+		}
+	case Quicksort:
+		return ctQuicksortBody(n, chain)
+	case Queens:
+		return ctQueensBody(n, chain)
+	}
+	panic("workloads: unknown kind")
+}
+
+// ctQuicksortBody is the oblivious replacement for quicksort: a bubble sort
+// whose compare-swaps are ct-selects and whose every store is masked. The
+// O(n^2) access pattern is input-independent — this asymptotic penalty is
+// the main reason CTE loses so badly on sorting.
+func ctQuicksortBody(n int, chain lang.Expr) []lang.Stmt {
+	fill := []lang.Stmt{
+		mset(chain, "qv", lang.B(lang.Add, lang.N(12345),
+			lang.B(lang.Mul, lang.V("iter"), lang.N(48271)))),
+		lang.Set("qi", lang.N(0)),
+		lang.Loop(lang.B(lang.Lt, lang.V("qi"), lang.N(int64(n))), []lang.Stmt{
+			mset(chain, "qv", lcg("qv")),
+			mput(chain, "qdata", lang.V("qi"), lang.B(lang.And, lang.V("qv"), lang.N(0xFFFF))),
+			lang.Set("qi", lang.B(lang.Add, lang.V("qi"), lang.N(1))),
+		}),
+	}
+	jNext := lang.B(lang.Add, lang.V("qj"), lang.N(1))
+	inner := lang.Loop(lang.B(lang.Lt, lang.V("qj"), lang.N(int64(n-1))), []lang.Stmt{
+		// Every statement of the original algorithm carries the select
+		// treatment (paper Fig. 2); only the loop counter stays plain.
+		mset(chain, "qpiv", lang.At("qdata", lang.V("qj"))), // a
+		mset(chain, "qtmp", lang.At("qdata", jNext)),        // b
+		mset(chain, "qsn", lang.B(lang.Lt, lang.V("qtmp"), lang.V("qpiv"))),
+		mset(chain, "qlo", lang.Sel(lang.V("qsn"), lang.V("qtmp"), lang.V("qpiv"))),
+		mset(chain, "qhi", lang.Sel(lang.V("qsn"), lang.V("qpiv"), lang.V("qtmp"))),
+		mput(chain, "qdata", lang.V("qj"), lang.V("qlo")),
+		mput(chain, "qdata", jNext, lang.V("qhi")),
+		lang.Set("qj", lang.B(lang.Add, lang.V("qj"), lang.N(1))),
+	})
+	var stmts []lang.Stmt
+	stmts = append(stmts, fill...)
+	stmts = append(stmts,
+		lang.Set("qp", lang.N(0)),
+		lang.Loop(lang.B(lang.Lt, lang.V("qp"), lang.N(int64(n-1))), []lang.Stmt{
+			lang.Set("qj", lang.N(0)),
+			inner,
+			lang.Set("qp", lang.B(lang.Add, lang.V("qp"), lang.N(1))),
+		}),
+		mset(chain, "cksum", lang.B(lang.Add, lang.V("cksum"),
+			lang.B(lang.Add, lang.At("qdata", lang.N(int64(n/2))), lang.At("qdata", lang.N(0))))),
+	)
+	return stmts
+}
+
+// ctQueensBody is the oblivious replacement for backtracking N-queens: an
+// odometer enumerates all n^n placements and a branch-free validity product
+// decides whether each counts. No pruning is possible without branching on
+// board state, which is the CTE asymptotic penalty for search problems.
+func ctQueensBody(n int, chain lang.Expr) []lang.Stmt {
+	total := int64(1)
+	for i := 0; i < n; i++ {
+		total *= int64(n)
+	}
+	o := func(i int) string { return fmt.Sprintf("no%d", i) }
+
+	var stmts []lang.Stmt
+	// The odometer digits are iteration scaffolding (the enumeration runs
+	// identically whatever the secrets are), so they reset and advance with
+	// plain assignments, like loop counters.
+	for i := 0; i < n; i++ {
+		stmts = append(stmts, lang.Set(o(i), lang.N(0)))
+	}
+	stmts = append(stmts, mset(chain, "nsol", lang.N(0)))
+	stmts = append(stmts, lang.Set("nk", lang.N(0)))
+
+	// Every statement of the original safety check carries the select
+	// treatment (paper Fig. 2).
+	bodyStmts := []lang.Stmt{mset(chain, "nvalid", lang.N(1))}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			bodyStmts = append(bodyStmts,
+				mset(chain, "nd", lang.B(lang.Sub, lang.V(o(i)), lang.V(o(j)))),
+				mset(chain, "ncf", lang.B(lang.Or,
+					lang.B(lang.Eq, lang.V(o(i)), lang.V(o(j))),
+					lang.B(lang.Or,
+						lang.B(lang.Eq, lang.V("nd"), lang.N(int64(j-i))),
+						lang.B(lang.Eq, lang.V("nd"), lang.N(int64(i-j)))))),
+				mset(chain, "nvalid", lang.B(lang.And, lang.V("nvalid"),
+					lang.B(lang.Eq, lang.V("ncf"), lang.N(0)))),
+			)
+		}
+	}
+	bodyStmts = append(bodyStmts,
+		mset(chain, "nsol", lang.B(lang.Add, lang.V("nsol"), lang.V("nvalid"))))
+	// Odometer increment, branch-free: digit i absorbs the carry from digit
+	// i-1. The board state is scaffolding (it enumerates every placement
+	// regardless of secrets), so the carries use plain selects.
+	bodyStmts = append(bodyStmts, lang.Set("ncar", lang.N(1)))
+	for i := 0; i < n; i++ {
+		bodyStmts = append(bodyStmts,
+			lang.Set(o(i), lang.B(lang.Add, lang.V(o(i)), lang.V("ncar"))),
+			lang.Set("ncar", lang.B(lang.Eq, lang.V(o(i)), lang.N(int64(n)))),
+			lang.Set(o(i), lang.Sel(lang.V("ncar"), lang.N(0), lang.V(o(i)))),
+		)
+	}
+	bodyStmts = append(bodyStmts, lang.Set("nk", lang.B(lang.Add, lang.V("nk"), lang.N(1))))
+
+	stmts = append(stmts,
+		lang.Loop(lang.B(lang.Lt, lang.V("nk"), lang.N(total)), bodyStmts),
+		mset(chain, "cksum", lang.B(lang.Add, lang.V("cksum"), lang.V("nsol"))),
+	)
+	return stmts
+}
