@@ -1,0 +1,33 @@
+# One-command verification and perf harness for the SeMPE reproduction.
+
+GO ?= go
+
+.PHONY: check vet build test bench bench-smoke sweep clean
+
+# check is the tier-1 gate plus a benchmark smoke run.
+check: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench-smoke proves the perf-critical benchmarks still run and that the
+# steady-state pipeline loop is allocation-free, in seconds.
+bench-smoke:
+	$(GO) test -run=NONE -bench='SteadyState|MemAccess|SimulatorSpeed' -benchmem -benchtime=1000x
+
+# bench is the full benchmark suite (paper figures + ablations).
+bench:
+	$(GO) test -bench=. -benchmem
+
+# sweep regenerates the paper's figures with the parallel runner.
+sweep:
+	$(GO) run ./cmd/sempe-bench -exp all
+
+clean:
+	$(GO) clean ./...

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/compile"
 	"repro/internal/emu"
+	"repro/internal/experiments"
 	"repro/internal/jpegsim"
 	"repro/internal/lang"
 	"repro/internal/mem"
@@ -290,6 +291,131 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 		insts += core.Stats.Insts
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkSteadyStatePipeline measures one StepCycle of the out-of-order
+// core in steady state (fetch through commit on a long-running loop).
+// allocs/op is the headline: the uop pool, ring buffers, and pre-decode
+// cache make the whole fetch-to-commit path allocation-free, so this must
+// report ~0 allocs/op.
+func BenchmarkSteadyStatePipeline(b *testing.B) {
+	spec := workloads.HarnessSpec{Kind: workloads.Quicksort, W: 2, I: 1 << 20}
+	out, err := compile.Compile(workloads.Harness(spec), compile.Plain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	core := pipeline.New(cfg, out.Prog)
+	// Warm the pool, predictors, and caches past the cold-start transient.
+	for i := 0; i < 10_000; i++ {
+		if err := core.StepCycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.Halted() {
+			b.Fatal("workload halted mid-benchmark; raise I")
+		}
+		if err := core.StepCycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(core.Stats.Insts)/float64(core.Stats.Cycles), "ipc")
+}
+
+// BenchmarkSteadyStateSecure is the same measurement with SeMPE enabled
+// (drains, SPM snapshots, and commit-time redirects on the hot path).
+func BenchmarkSteadyStateSecure(b *testing.B) {
+	spec := workloads.HarnessSpec{Kind: workloads.Quicksort, W: 2, I: 1 << 20}
+	out, err := compile.Compile(workloads.Harness(spec), compile.SeMPE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	core := pipeline.New(pipeline.SecureConfig(), out.Prog)
+	for i := 0; i < 10_000; i++ {
+		if err := core.StepCycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.Halted() {
+			b.Fatal("workload halted mid-benchmark; raise I")
+		}
+		if err := core.StepCycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemAccess measures the sparse-memory fast paths: in-page accesses
+// ride encoding/binary plus the one-entry last-page cache; cross-page
+// accesses split into per-page bulk copies. All must be allocation-free.
+func BenchmarkMemAccess(b *testing.B) {
+	const page = 1 << 14
+	cases := []struct {
+		name string
+		addr uint64
+	}{
+		{"Read64/inpage", 128},
+		{"Read64/crosspage", page - 3},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			m := mem.NewMemory()
+			m.Write64(tc.addr, 0x0123456789abcdef)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += m.Read64(tc.addr)
+			}
+			_ = sink
+		})
+	}
+	b.Run("Write64/inpage", func(b *testing.B) {
+		m := mem.NewMemory()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Write64(128, uint64(i))
+		}
+	})
+	b.Run("Write64/crosspage", func(b *testing.B) {
+		m := mem.NewMemory()
+		m.Write8(0, 0) // pre-back both pages so the loop is steady-state
+		m.Write8(page, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Write64(page-3, uint64(i))
+		}
+	})
+}
+
+// BenchmarkFig10Sweep measures the wall time of a reduced Fig. 10 sweep —
+// the end-to-end number the hot-path work targets — serially and on the
+// bounded worker pool (results are bit-identical either way).
+func BenchmarkFig10Sweep(b *testing.B) {
+	spec := experiments.Fig10Spec{
+		Kinds: []workloads.Kind{workloads.Fibonacci, workloads.Quicksort},
+		Ws:    []int{1, 4},
+		Iters: 4,
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			spec.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig10(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEmulatorSpeed measures the functional golden model's throughput.

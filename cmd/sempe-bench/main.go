@@ -8,6 +8,11 @@
 //	sempe-bench -exp table1
 //	sempe-bench -exp all
 //
+// Each grid point of a sweep simulates on an independent core, so the sweeps
+// fan out across -parallel worker goroutines (default: all CPUs) with
+// bit-identical results to a serial run. -cpuprofile writes a pprof profile
+// of the whole run for simulator performance work.
+//
 // Absolute cycle counts come from this repository's simulator, not the
 // authors' gem5 testbed; EXPERIMENTS.md compares the shapes.
 package main
@@ -16,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -24,13 +31,34 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "table1|table2|fig8|fig9|fig10a|fig10b|all")
-		quick = flag.Bool("quick", false, "reduced sweep (W in {1,4,10}, fewer iterations)")
+		exp        = flag.String("exp", "all", "table1|table2|fig8|fig9|fig10a|fig10b|all")
+		quick      = flag.Bool("quick", false, "reduced sweep (W in {1,4,10}, fewer iterations)")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the sweeps (1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
 	flag.Parse()
 	start := time.Now()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		// fatal() exits via os.Exit, which skips defers; route the profile
+		// flush through stopProfile so a failed sweep still writes a
+		// parseable profile of everything that ran.
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
+
 	fig10Spec := experiments.DefaultFig10Spec()
+	fig10Spec.Workers = *parallel
 	if *quick {
 		fig10Spec.Ws = []int{1, 4, 10}
 		fig10Spec.Iters = 4
@@ -42,8 +70,8 @@ func main() {
 	var fig10Rows []experiments.Fig10Row
 	if needFig10 {
 		var err error
-		fmt.Fprintf(os.Stderr, "running Fig. 10 sweep (%d workloads x %d depths x 3 variants)...\n",
-			len(fig10Spec.Kinds), len(fig10Spec.Ws))
+		fmt.Fprintf(os.Stderr, "running Fig. 10 sweep (%d workloads x %d depths x 3 variants, %d workers)...\n",
+			len(fig10Spec.Kinds), len(fig10Spec.Ws), *parallel)
 		fig10Rows, err = experiments.Fig10(fig10Spec)
 		if err != nil {
 			fatal("fig10: %v", err)
@@ -52,8 +80,10 @@ func main() {
 	var fig8Rows []experiments.Fig8Row
 	if needFig8 {
 		var err error
-		fmt.Fprintf(os.Stderr, "running Fig. 8/9 djpeg grid...\n")
-		fig8Rows, err = experiments.Fig8(experiments.DefaultFig8Spec())
+		fig8Spec := experiments.DefaultFig8Spec()
+		fig8Spec.Workers = *parallel
+		fmt.Fprintf(os.Stderr, "running Fig. 8/9 djpeg grid (%d workers)...\n", *parallel)
+		fig8Rows, err = experiments.Fig8(fig8Spec)
 		if err != nil {
 			fatal("fig8: %v", err)
 		}
@@ -85,7 +115,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "done in %v (workload kinds: %v)\n", time.Since(start), workloads.All())
 }
 
+// stopProfile flushes the CPU profile, if one is active. Replaced by main
+// when -cpuprofile is set.
+var stopProfile = func() {}
+
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "sempe-bench: "+format+"\n", args...)
+	stopProfile()
 	os.Exit(1)
 }

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/compile"
 	"repro/internal/isa"
@@ -17,6 +18,50 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
+
+// runGrid evaluates fn(i) for every i in [0, n), fanning the calls across a
+// bounded pool of worker goroutines. Every grid point of the evaluation
+// constructs an independent Core, so points are embarrassingly parallel; the
+// caller writes results into a pre-sized slice indexed by i, which keeps the
+// output order deterministic regardless of scheduling. The returned error is
+// the lowest-indexed failure, so error reporting is deterministic too.
+// workers <= 1 runs serially.
+func runGrid(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Run executes a compiled program on a core and returns it.
 func Run(cfg pipeline.Config, prog *isa.Program) (*pipeline.Core, error) {
@@ -58,6 +103,11 @@ type Fig10Spec struct {
 	Ws     []int
 	Iters  int
 	Secret uint64 // baseline input; 0 = fall through to the last path
+
+	// Workers bounds the goroutine pool the sweep fans out over; each
+	// (kernel, W) point runs on its own Core, so results are identical to a
+	// serial sweep. <= 1 runs serially.
+	Workers int
 }
 
 // DefaultFig10Spec covers the paper's full W axis.
@@ -73,35 +123,48 @@ func DefaultFig10Spec() Fig10Spec {
 // unprotected core, the SeMPE binary on the secure core, and the
 // hand-written constant-time program on the unprotected core.
 func Fig10(spec Fig10Spec) ([]Fig10Row, error) {
-	var rows []Fig10Row
+	type point struct {
+		kind workloads.Kind
+		w    int
+	}
+	var pts []point
 	for _, kind := range spec.Kinds {
 		for _, w := range spec.Ws {
-			hs := workloads.HarnessSpec{Kind: kind, W: w, I: spec.Iters, Secret: spec.Secret}
-			structured := workloads.Harness(hs)
-			base, err := mustRun(pipeline.DefaultConfig(), structured, compile.Plain)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %v W=%d base: %w", kind, w, err)
-			}
-			sec, err := mustRun(pipeline.SecureConfig(), structured, compile.SeMPE)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %v W=%d sempe: %w", kind, w, err)
-			}
-			cte, err := mustRun(pipeline.DefaultConfig(), workloads.HarnessCT(hs), compile.Plain)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %v W=%d cte: %w", kind, w, err)
-			}
-			row := Fig10Row{
-				Kind:        kind,
-				W:           w,
-				BaseCycles:  base.Stats.Cycles,
-				SeMPECycles: sec.Stats.Cycles,
-				CTECycles:   cte.Stats.Cycles,
-				Ideal:       float64(w + 1),
-			}
-			row.SeMPESlowdown = float64(sec.Stats.Cycles) / float64(base.Stats.Cycles)
-			row.CTESlowdown = float64(cte.Stats.Cycles) / float64(base.Stats.Cycles)
-			rows = append(rows, row)
+			pts = append(pts, point{kind, w})
 		}
+	}
+	rows := make([]Fig10Row, len(pts))
+	err := runGrid(len(pts), spec.Workers, func(i int) error {
+		kind, w := pts[i].kind, pts[i].w
+		hs := workloads.HarnessSpec{Kind: kind, W: w, I: spec.Iters, Secret: spec.Secret}
+		structured := workloads.Harness(hs)
+		base, err := mustRun(pipeline.DefaultConfig(), structured, compile.Plain)
+		if err != nil {
+			return fmt.Errorf("fig10 %v W=%d base: %w", kind, w, err)
+		}
+		sec, err := mustRun(pipeline.SecureConfig(), structured, compile.SeMPE)
+		if err != nil {
+			return fmt.Errorf("fig10 %v W=%d sempe: %w", kind, w, err)
+		}
+		cte, err := mustRun(pipeline.DefaultConfig(), workloads.HarnessCT(hs), compile.Plain)
+		if err != nil {
+			return fmt.Errorf("fig10 %v W=%d cte: %w", kind, w, err)
+		}
+		row := Fig10Row{
+			Kind:        kind,
+			W:           w,
+			BaseCycles:  base.Stats.Cycles,
+			SeMPECycles: sec.Stats.Cycles,
+			CTECycles:   cte.Stats.Cycles,
+			Ideal:       float64(w + 1),
+		}
+		row.SeMPESlowdown = float64(sec.Stats.Cycles) / float64(base.Stats.Cycles)
+		row.CTESlowdown = float64(cte.Stats.Cycles) / float64(base.Stats.Cycles)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -159,6 +222,9 @@ type Fig8Spec struct {
 		Label  string
 		Blocks int
 	}
+
+	// Workers bounds the goroutine pool (see Fig10Spec.Workers).
+	Workers int
 }
 
 // DefaultFig8Spec mirrors the paper's grid: three formats by four sizes.
@@ -170,28 +236,42 @@ func DefaultFig8Spec() Fig8Spec {
 
 // Fig8 runs the decoder grid.
 func Fig8(spec Fig8Spec) ([]Fig8Row, error) {
-	var rows []Fig8Row
+	type cell struct {
+		format jpegsim.Format
+		label  string
+		blocks int
+	}
+	var cells []cell
 	for _, f := range jpegsim.Formats() {
 		for _, size := range spec.Sizes {
-			img := jpegsim.ImageSpec{Format: f, Blocks: size.Blocks, Sparsity: spec.Sparsity, Seed: spec.Seed}
-			p := jpegsim.BuildProgram(img)
-			base, err := mustRun(pipeline.DefaultConfig(), p, compile.Plain)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %v/%s base: %w", f, size.Label, err)
-			}
-			sec, err := mustRun(pipeline.SecureConfig(), p, compile.SeMPE)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %v/%s sempe: %w", f, size.Label, err)
-			}
-			rows = append(rows, Fig8Row{
-				Format:   f,
-				Size:     size.Label,
-				Blocks:   size.Blocks,
-				Base:     base,
-				Secure:   sec,
-				Overhead: float64(sec.Stats.Cycles)/float64(base.Stats.Cycles) - 1,
-			})
+			cells = append(cells, cell{f, size.Label, size.Blocks})
 		}
+	}
+	rows := make([]Fig8Row, len(cells))
+	err := runGrid(len(cells), spec.Workers, func(i int) error {
+		cl := cells[i]
+		img := jpegsim.ImageSpec{Format: cl.format, Blocks: cl.blocks, Sparsity: spec.Sparsity, Seed: spec.Seed}
+		p := jpegsim.BuildProgram(img)
+		base, err := mustRun(pipeline.DefaultConfig(), p, compile.Plain)
+		if err != nil {
+			return fmt.Errorf("fig8 %v/%s base: %w", cl.format, cl.label, err)
+		}
+		sec, err := mustRun(pipeline.SecureConfig(), p, compile.SeMPE)
+		if err != nil {
+			return fmt.Errorf("fig8 %v/%s sempe: %w", cl.format, cl.label, err)
+		}
+		rows[i] = Fig8Row{
+			Format:   cl.format,
+			Size:     cl.label,
+			Blocks:   cl.blocks,
+			Base:     base,
+			Secure:   sec,
+			Overhead: float64(sec.Stats.Cycles)/float64(base.Stats.Cycles) - 1,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestFig10ParallelDeterministic checks the worker-pool sweep against the
+// serial sweep: every grid point simulates on an independent core, so the
+// rows — cycle counts included — must be bit-identical and in the same
+// order no matter how the scheduler interleaves workers.
+func TestFig10ParallelDeterministic(t *testing.T) {
+	spec := Fig10Spec{
+		Kinds: []workloads.Kind{workloads.Fibonacci, workloads.Ones},
+		Ws:    []int{1, 2},
+		Iters: 2,
+	}
+	serial, err := Fig10(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 4
+	par, err := Fig10(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Errorf("row %d differs:\nserial:   %+v\nparallel: %+v", i, serial[i], par[i])
+		}
+	}
+}
+
+// TestFig8ParallelDeterministic does the same for the djpeg grid (cycle
+// counts and cache miss counters must match exactly).
+func TestFig8ParallelDeterministic(t *testing.T) {
+	spec := DefaultFig8Spec()
+	spec.Sizes = spec.Sizes[:1]
+	serial, err := Fig8(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 3
+	par, err := Fig8(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		s, p := serial[i], par[i]
+		if s.Format != p.Format || s.Size != p.Size || s.Overhead != p.Overhead {
+			t.Errorf("row %d differs: %+v vs %+v", i, s, p)
+		}
+		if s.Base.Stats != p.Base.Stats || s.Secure.Stats != p.Secure.Stats {
+			t.Errorf("row %d core stats differ", i)
+		}
+		if s.Secure.Hier.DL1.Stats != p.Secure.Hier.DL1.Stats {
+			t.Errorf("row %d DL1 stats differ", i)
+		}
+	}
+}
+
+// TestRunGridErrorDeterministic checks that the reported error is the
+// lowest-indexed one regardless of worker interleaving.
+func TestRunGridErrorDeterministic(t *testing.T) {
+	failAt := map[int]bool{3: true, 7: true}
+	for _, workers := range []int{1, 4} {
+		err := runGrid(10, workers, func(i int) error {
+			if failAt[i] {
+				return errIndexed(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != errIndexed(3).Error() {
+			t.Errorf("workers=%d: error = %v, want %v", workers, err, errIndexed(3))
+		}
+	}
+}
+
+type errIndexed int
+
+func (e errIndexed) Error() string { return fmt.Sprintf("point %d failed", int(e)) }

@@ -75,10 +75,10 @@ func Decode(code []byte, off int) (Inst, int, error) {
 		off++
 	}
 	op := Op(code[off])
-	info, ok := opTable[op]
-	if !ok {
+	if !opValid[op] {
 		return in, 0, fmt.Errorf("%w: %#02x at offset %d", ErrBadOpcode, code[off], off)
 	}
+	info := opInfos[op]
 	in.Op = op
 	off++
 	if info.short {

@@ -199,20 +199,35 @@ var opTable = map[Op]opInfo{
 	OpCmovnz: {"cmovnz", ClassCMov, true, true, true, true, false},
 }
 
+// opInfos is opTable flattened into a dense array: opcode helpers sit on the
+// simulator's per-fetch/per-rename hot path, and indexing a 256-entry array
+// by the opcode byte avoids hashing the map on every call.
+var opInfos [256]opInfo
+
+// opValid mirrors opTable membership for the dense array.
+var opValid [256]bool
+
+func init() {
+	for op, info := range opTable {
+		opInfos[op] = info
+		opValid[op] = true
+	}
+}
+
 // Valid reports whether op is a defined opcode.
-func (op Op) Valid() bool { _, ok := opTable[op]; return ok }
+func (op Op) Valid() bool { return opValid[op] }
 
 // String returns the assembler mnemonic of the opcode.
 func (op Op) String() string {
-	if info, ok := opTable[op]; ok {
-		return info.name
+	if opValid[op] {
+		return opInfos[op].name
 	}
 	return fmt.Sprintf("op(%#02x)", uint8(op))
 }
 
 // ClassOf returns the functional-unit class of the opcode.
 func (op Op) ClassOf() Class {
-	return opTable[op].class
+	return opInfos[op].class
 }
 
 // IsBranch reports whether op is a conditional branch.
@@ -250,14 +265,14 @@ func (in Inst) IsEOSJmp() bool { return in.Secure && in.Op == OpNop }
 
 // WritesRd reports whether the instruction writes its Rd register.
 func (in Inst) WritesRd() bool {
-	return opTable[in.Op].writesRd && in.Rd != RZ
+	return opInfos[in.Op].writesRd && in.Rd != RZ
 }
 
 // SrcRegs appends the architectural source registers of the instruction to
 // dst and returns the extended slice. R0 reads are included (they are free in
 // the datapath but harmless to track).
 func (in Inst) SrcRegs(dst []Reg) []Reg {
-	info := opTable[in.Op]
+	info := opInfos[in.Op]
 	if info.readsRa {
 		dst = append(dst, in.Ra)
 	}
@@ -273,7 +288,7 @@ func (in Inst) SrcRegs(dst []Reg) []Reg {
 // EncodedLen returns the byte length of the instruction's encoding.
 func (in Inst) EncodedLen() int {
 	n := 8
-	if opTable[in.Op].short {
+	if opInfos[in.Op].short {
 		n = 1
 	}
 	if in.Secure {

@@ -3,7 +3,11 @@
 // register snapshots.
 package mem
 
-import "repro/internal/isa"
+import (
+	"encoding/binary"
+
+	"repro/internal/isa"
+)
 
 // pageBits selects a 16 KiB page for the sparse backing store. This is a
 // simulator implementation detail, unrelated to the simulated 4 MiB VM pages
@@ -12,16 +16,26 @@ const pageBits = 14
 
 const pageSize = 1 << pageBits
 
+// noPage is the last-page cache sentinel: page keys are addr>>pageBits, so
+// the all-ones key can never occur.
+const noPage = ^uint64(0)
+
 // Memory is a sparse, byte-addressable 64-bit memory. Reads of unbacked
 // addresses return zero; writes allocate pages on demand. All methods are
 // deterministic, which the leak checker depends on.
+//
+// A one-entry last-page cache sits in front of the pages map: straight-line
+// access streams (code fetch, stack traffic, sequential buffers) hit the same
+// page repeatedly and skip the map lookup entirely.
 type Memory struct {
-	pages map[uint64][]byte
+	pages   map[uint64][]byte
+	lastKey uint64
+	lastPg  []byte
 }
 
 // NewMemory returns an empty memory image.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64][]byte)}
+	return &Memory{pages: make(map[uint64][]byte), lastKey: noPage}
 }
 
 // Load copies a program image (code and data segments) into memory.
@@ -34,11 +48,18 @@ func (m *Memory) Load(p *isa.Program) {
 
 func (m *Memory) page(addr uint64, alloc bool) []byte {
 	key := addr >> pageBits
+	if key == m.lastKey {
+		return m.lastPg
+	}
 	pg, ok := m.pages[key]
-	if !ok && alloc {
+	if !ok {
+		if !alloc {
+			return nil
+		}
 		pg = make([]byte, pageSize)
 		m.pages[key] = pg
 	}
+	m.lastKey, m.lastPg = key, pg
 	return pg
 }
 
@@ -58,55 +79,102 @@ func (m *Memory) Write8(addr uint64, v byte) {
 
 // Read64 returns the little-endian 64-bit word at addr (any alignment).
 func (m *Memory) Read64(addr uint64) uint64 {
-	// Fast path: within one page.
 	off := addr & (pageSize - 1)
-	if off+8 <= pageSize {
+	if off <= pageSize-8 {
 		pg := m.page(addr, false)
 		if pg == nil {
 			return 0
 		}
-		var v uint64
-		for i := 7; i >= 0; i-- {
-			v = v<<8 | uint64(pg[off+uint64(i)])
-		}
-		return v
+		return binary.LittleEndian.Uint64(pg[off:])
 	}
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(m.Read8(addr+uint64(i)))
-	}
-	return v
+	var buf [8]byte
+	m.readSpan(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
 }
 
 // Write64 stores a little-endian 64-bit word at addr (any alignment).
 func (m *Memory) Write64(addr uint64, v uint64) {
 	off := addr & (pageSize - 1)
-	if off+8 <= pageSize {
-		pg := m.page(addr, true)
-		for i := 0; i < 8; i++ {
-			pg[off+uint64(i)] = byte(v >> (8 * i))
-		}
+	if off <= pageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:], v)
 		return
 	}
-	for i := 0; i < 8; i++ {
-		m.Write8(addr+uint64(i), byte(v>>(8*i)))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.writeSpan(addr, buf[:])
+}
+
+// Read32 returns the little-endian 32-bit word at addr (any alignment).
+func (m *Memory) Read32(addr uint64) uint32 {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-4 {
+		pg := m.page(addr, false)
+		if pg == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(pg[off:])
+	}
+	var buf [4]byte
+	m.readSpan(addr, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// Write32 stores a little-endian 32-bit word at addr (any alignment).
+func (m *Memory) Write32(addr uint64, v uint32) {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-4 {
+		binary.LittleEndian.PutUint32(m.page(addr, true)[off:], v)
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	m.writeSpan(addr, buf[:])
+}
+
+// readSpan fills dst from memory starting at addr, one bulk copy per page
+// touched. Unbacked pages read as zero.
+func (m *Memory) readSpan(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & (pageSize - 1)
+		n := uint64(pageSize - off)
+		if uint64(len(dst)) < n {
+			n = uint64(len(dst))
+		}
+		if pg := m.page(addr, false); pg != nil {
+			copy(dst[:n], pg[off:off+n])
+		} else {
+			clear(dst[:n])
+		}
+		dst = dst[n:]
+		addr += n
+	}
+}
+
+// writeSpan stores src into memory starting at addr, one bulk copy per page
+// touched, allocating pages on demand.
+func (m *Memory) writeSpan(addr uint64, src []byte) {
+	for len(src) > 0 {
+		off := addr & (pageSize - 1)
+		n := uint64(pageSize - off)
+		if uint64(len(src)) < n {
+			n = uint64(len(src))
+		}
+		copy(m.page(addr, true)[off:off+n], src[:n])
+		src = src[n:]
+		addr += n
 	}
 }
 
 // ReadBytes copies n bytes starting at addr into a new slice.
 func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = m.Read8(addr + uint64(i))
-	}
+	m.readSpan(addr, out)
 	return out
 }
 
 // WriteBytes copies b into memory starting at addr.
 func (m *Memory) WriteBytes(addr uint64, b []byte) {
-	for i, v := range b {
-		m.Write8(addr+uint64(i), v)
-	}
+	m.writeSpan(addr, b)
 }
 
 // Clone returns a deep copy of the memory image. Used by differential tests

@@ -229,6 +229,9 @@ func (c *Core) writeback() {
 	out := c.exec[:0]
 	for _, u := range c.exec {
 		if u.squashed {
+			// Flushed while in flight: exec held the last live reference
+			// (flushAfter already removed it from every other structure).
+			c.pool.put(u)
 			continue
 		}
 		if u.doneCycle > c.cycle {
@@ -244,11 +247,14 @@ func (c *Core) writeback() {
 			c.Stats.BranchMispredicts++
 			c.flushAfter(u, u.actualTarget)
 			// flushAfter marked younger ops squashed; drop any already
-			// copied into out.
+			// copied into out and recycle them (their flush deferred the
+			// free to us).
 			rebuilt := out[:0]
 			for _, v := range out {
 				if !v.squashed {
 					rebuilt = append(rebuilt, v)
+				} else {
+					c.pool.put(v)
 				}
 			}
 			out = rebuilt

@@ -74,6 +74,7 @@ func (c *Core) retire() error {
 
 		// Pop from the ROB before any controller action so that the
 		// controller sees an empty window (drains guarantee it).
+		c.rob[c.robHead] = nil
 		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
 		c.robCount--
 		c.Stats.Insts++
@@ -83,20 +84,22 @@ func (c *Core) retire() error {
 		case u.isSJmp:
 			c.Stats.Branches++
 			c.Stats.SJmps++
-			if err := c.commitSJmp(u); err != nil {
-				return err
-			}
-			return nil // snapshot serializes the rest of the cycle
+			err := c.commitSJmp(u)
+			c.pool.put(u)
+			return err // snapshot serializes the rest of the cycle
 		case u.isEOSJmp:
 			c.Stats.EOSJmps++
-			if err := c.commitEOSJmp(u); err != nil {
-				return err
-			}
-			return nil
+			err := c.commitEOSJmp(u)
+			c.pool.put(u)
+			return err
 		case u.inst.Op == isa.OpHalt:
 			c.halted = true
+			c.pool.put(u)
 			return nil
 		}
+		// The ROB held the last reference (mem ops left lq/sq above, and a
+		// committed op was dropped from exec when it completed).
+		c.pool.put(u)
 	}
 	return nil
 }

@@ -56,8 +56,16 @@ type Core struct {
 	fetchStallUntil uint64
 	fetchHalted     bool // fetched a HALT; wait for commit or flush
 	fetchBroken     bool // undecodable bytes (wrong path); wait for flush
-	fetchBuf        []*uop
-	decodeQ         []*uop
+	fetchBuf        uopRing
+	decodeQ         uopRing
+
+	// Pre-decode cache, indexed by pc-CodeBase: each static instruction is
+	// decoded once, not on every fetch of the same pc.
+	decoded []predec
+
+	// Micro-op recycling (zero-alloc steady state).
+	pool      uopPool
+	squashTmp []*uop // scratch for flushAfter's deferred frees
 
 	// SeMPE sequencing. renameBlocked holds rename while an eosJMP is in
 	// flight (pipeline drain 2/3 of the paper's Fig. 6); renameStallUntil
@@ -110,6 +118,14 @@ func NewOnMemory(cfg Config, prog *isa.Program, memory *mem.Memory) *Core {
 		physVal:   make([]uint64, cfg.PhysRegs),
 		physReady: make([]bool, cfg.PhysRegs),
 		rob:       make([]*uop, cfg.ROBSize),
+		iq:        make([]*uop, 0, cfg.IQSize),
+		lq:        make([]*uop, 0, cfg.LQSize),
+		sq:        make([]*uop, 0, cfg.SQSize),
+		exec:      make([]*uop, 0, cfg.ROBSize),
+		freeList:  make([]int, 0, cfg.PhysRegs),
+		fetchBuf:  newUopRing(cfg.FetchBufSize),
+		decodeQ:   newUopRing(cfg.DecodeQSize),
+		decoded:   make([]predec, len(prog.Code)),
 		fetchPC:   prog.Entry,
 	}
 	if cfg.StridePrefetchTable > 0 {

@@ -5,12 +5,21 @@ import (
 	"repro/internal/isa"
 )
 
+// predec is one pre-decode cache entry. size==0 means not yet decoded;
+// size<0 means the bytes at this pc are undecodable (wrong-path fetch).
+type predec struct {
+	inst isa.Inst
+	size int8
+}
+
 // fetch reads and predecodes up to FetchWidth instructions per cycle from
 // the program image, consulting the IL1 for every distinct cache line
 // touched and the branch predictors for control flow. Secure branches are
 // never predicted: under SeMPE an sJMP always falls through into the
 // not-taken path, so the fetch stream carries no information about the
-// secret (and the predictor state is never updated by it).
+// secret (and the predictor state is never updated by it). Decoded
+// instructions are cached per pc, so each static instruction is decoded
+// once per run rather than on every dynamic fetch.
 func (c *Core) fetch() {
 	if c.fetchHalted || c.fetchBroken {
 		return
@@ -20,7 +29,7 @@ func (c *Core) fetch() {
 		return
 	}
 	var lastLine uint64 = ^uint64(0)
-	for n := 0; n < c.cfg.FetchWidth && len(c.fetchBuf) < c.cfg.FetchBufSize; n++ {
+	for n := 0; n < c.cfg.FetchWidth && !c.fetchBuf.full(); n++ {
 		pc := c.fetchPC
 		if pc < c.prog.CodeBase || pc >= c.prog.CodeEnd() {
 			// Fetch wandered outside the code image: only possible on a
@@ -29,11 +38,20 @@ func (c *Core) fetch() {
 			return
 		}
 		off := int(pc - c.prog.CodeBase)
-		inst, size, err := isa.Decode(c.prog.Code, off)
-		if err != nil {
+		d := &c.decoded[off]
+		if d.size == 0 {
+			inst, size, err := isa.Decode(c.prog.Code, off)
+			if err != nil {
+				d.size = -1
+			} else {
+				d.inst, d.size = inst, int8(size)
+			}
+		}
+		if d.size < 0 {
 			c.fetchBroken = true
 			return
 		}
+		size := int(d.size)
 		// Charge IL1 for each distinct line the instruction bytes touch.
 		for a := pc &^ (cache.LineSize - 1); a < pc+uint64(size); a += cache.LineSize {
 			if a == lastLine {
@@ -49,16 +67,15 @@ func (c *Core) fetch() {
 			}
 		}
 
-		u := &uop{
-			seq:  c.seq,
-			inst: inst,
-			pc:   pc,
-			npc:  pc + uint64(size),
-		}
+		u := c.pool.get()
+		u.seq = c.seq
+		u.inst = d.inst
+		u.pc = pc
+		u.npc = pc + uint64(size)
 		c.seq++
 
 		redirected := c.predecode(u)
-		c.fetchBuf = append(c.fetchBuf, u)
+		c.fetchBuf.push(u)
 		if u.inst.Op == isa.OpHalt {
 			c.fetchHalted = true
 			return
@@ -142,9 +159,8 @@ func (c *Core) predecode(u *uop) bool {
 // decode moves predecoded micro-ops into the decode queue.
 func (c *Core) decode() {
 	n := 0
-	for n < c.cfg.DecodeWidth && len(c.fetchBuf) > 0 && len(c.decodeQ) < c.cfg.DecodeQSize {
-		c.decodeQ = append(c.decodeQ, c.fetchBuf[0])
-		c.fetchBuf = c.fetchBuf[1:]
+	for n < c.cfg.DecodeWidth && c.fetchBuf.len() > 0 && !c.decodeQ.full() {
+		c.decodeQ.push(c.fetchBuf.pop())
 		n++
 	}
 }
@@ -163,8 +179,8 @@ func (c *Core) rename() {
 		c.Stats.SPMStallCycles++
 		return
 	}
-	for n := 0; n < c.cfg.RenameWidth && len(c.decodeQ) > 0; n++ {
-		u := c.decodeQ[0]
+	for n := 0; n < c.cfg.RenameWidth && c.decodeQ.len() > 0; n++ {
+		u := c.decodeQ.front()
 		if c.cfg.SeMPE && (u.isSJmp || u.isEOSJmp) && c.robCount > 0 {
 			// Drain: wait until every older instruction has committed.
 			c.Stats.DrainStallCycles++
@@ -173,7 +189,7 @@ func (c *Core) rename() {
 		if !c.dispatchReady(u) {
 			return
 		}
-		c.decodeQ = c.decodeQ[1:]
+		c.decodeQ.pop()
 		c.renameOne(u)
 		if c.cfg.SeMPE && u.isEOSJmp {
 			// Stay drained until the eosJMP commits and the ArchRS
@@ -279,9 +295,14 @@ func (c *Core) renameOne(u *uop) {
 
 // flushAfter squashes every micro-op younger than u, repairs the rename map
 // by walking the ROB from youngest to oldest, and redirects fetch to target.
+// Squashed ops are recycled into the pool immediately unless they are still
+// in flight in exec; those stay marked squashed and writeback recycles them
+// when it drops them (recycling here would leave exec holding dangling,
+// possibly-reused micro-ops mid-iteration).
 func (c *Core) flushAfter(u *uop, target uint64) {
 	c.Stats.Flushes++
 	// Walk the ROB backwards, undoing rename state.
+	c.squashTmp = c.squashTmp[:0]
 	for c.robCount > 0 {
 		pos := (c.robHead + c.robCount - 1) % c.cfg.ROBSize
 		y := c.rob[pos]
@@ -293,7 +314,9 @@ func (c *Core) flushAfter(u *uop, target uint64) {
 			c.freeList = append(c.freeList, y.pd)
 		}
 		y.squashed = true
+		c.rob[pos] = nil
 		c.robCount--
+		c.squashTmp = append(c.squashTmp, y)
 	}
 	c.iq = filterSquashed(c.iq)
 	c.lq = filterSquashed(c.lq)
@@ -301,20 +324,27 @@ func (c *Core) flushAfter(u *uop, target uint64) {
 	// exec is not compacted here: writeback iterates it and drops squashed
 	// entries itself (compacting the shared backing array mid-iteration
 	// would corrupt the walk).
+	for i, y := range c.squashTmp {
+		if !(y.issued && !y.completed) {
+			// Not in exec: every remaining reference was just removed.
+			c.pool.put(y)
+		}
+		c.squashTmp[i] = nil
+	}
 	c.redirectFrontEnd(target)
 }
 
 // redirectFrontEnd clears all fetched-but-not-renamed state and restarts
-// fetch at target after the redirect penalty.
+// fetch at target after the redirect penalty. Drained micro-ops were never
+// renamed, so the front-end buffers hold their only references and they can
+// be recycled directly.
 func (c *Core) redirectFrontEnd(target uint64) {
-	for _, u := range c.fetchBuf {
-		u.squashed = true
+	for c.fetchBuf.len() > 0 {
+		c.pool.put(c.fetchBuf.pop())
 	}
-	for _, u := range c.decodeQ {
-		u.squashed = true
+	for c.decodeQ.len() > 0 {
+		c.pool.put(c.decodeQ.pop())
 	}
-	c.fetchBuf = c.fetchBuf[:0]
-	c.decodeQ = c.decodeQ[:0]
 	c.fetchPC = target
 	c.fetchHalted = false
 	c.fetchBroken = false

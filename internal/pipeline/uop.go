@@ -47,3 +47,68 @@ type uop struct {
 
 // class returns the functional-unit class of the micro-op.
 func (u *uop) class() isa.Class { return u.inst.Op.ClassOf() }
+
+// uopChunk is how many micro-ops the pool allocates at a time. One chunk
+// covers a full 192-entry ROB plus front-end buffers, so steady state runs
+// allocation-free after the second chunk.
+const uopChunk = 256
+
+// uopPool recycles micro-ops so the pipeline loop performs no per-uop heap
+// allocation in steady state. Ops are backed by arena chunks; get always
+// returns a fully zeroed uop, so no operand, flag, or squash state can leak
+// from a previous (possibly flushed) use.
+type uopPool struct {
+	free []*uop
+}
+
+func (p *uopPool) get() *uop {
+	if len(p.free) == 0 {
+		chunk := make([]uop, uopChunk)
+		if cap(p.free) < uopChunk {
+			p.free = make([]*uop, 0, 2*uopChunk)
+		}
+		for i := range chunk {
+			p.free = append(p.free, &chunk[i])
+		}
+	}
+	u := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	*u = uop{}
+	return u
+}
+
+func (p *uopPool) put(u *uop) {
+	p.free = append(p.free, u)
+}
+
+// uopRing is a fixed-capacity FIFO of in-flight micro-ops. The front-end
+// buffers (fetchBuf, decodeQ) pop from the head every cycle; a ring keeps
+// that O(1) with zero allocation, unlike the append-and-reslice pattern,
+// whose backing array drifts and forces append to reallocate.
+type uopRing struct {
+	buf  []*uop
+	head int
+	n    int
+}
+
+func newUopRing(capacity int) uopRing {
+	return uopRing{buf: make([]*uop, capacity)}
+}
+
+func (r *uopRing) len() int   { return r.n }
+func (r *uopRing) full() bool { return r.n == len(r.buf) }
+
+func (r *uopRing) push(u *uop) {
+	r.buf[(r.head+r.n)%len(r.buf)] = u
+	r.n++
+}
+
+func (r *uopRing) front() *uop { return r.buf[r.head] }
+
+func (r *uopRing) pop() *uop {
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return u
+}
