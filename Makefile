@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test bench bench-smoke sweep clean
+.PHONY: check vet build test race bench bench-smoke sweep serve clean
 
 # check is the tier-1 gate plus a benchmark smoke run.
 check: vet build test bench-smoke
@@ -25,9 +25,18 @@ bench-smoke:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# sweep regenerates the paper's figures with the parallel runner.
+# race runs the suite under the race detector (CI runs this too; the
+# sweep engine and sempe-serve are the concurrent pieces).
+race:
+	$(GO) test -race ./...
+
+# sweep regenerates the paper's figures through the scenario registry.
 sweep:
 	$(GO) run ./cmd/sempe-bench -exp all
+
+# serve starts the HTTP evaluation service on :8080.
+serve:
+	$(GO) run ./cmd/sempe-serve
 
 clean:
 	$(GO) clean ./...

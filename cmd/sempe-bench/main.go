@@ -1,43 +1,97 @@
-// Command sempe-bench regenerates the paper's tables and figures:
+// Command sempe-bench regenerates the paper's tables and figures — and any
+// other registered evaluation scenario — through the scenario registry:
 //
-//	sempe-bench -exp table2            # baseline configuration echo
-//	sempe-bench -exp fig8              # djpeg overhead grid
-//	sempe-bench -exp fig9              # cache miss rates
-//	sempe-bench -exp fig10a -quick     # microbenchmark slowdowns (subset)
-//	sempe-bench -exp fig10b
-//	sempe-bench -exp table1
+//	sempe-bench -list                   # registered scenarios and their axes
+//	sempe-bench -exp table2             # baseline configuration echo
+//	sempe-bench -exp fig8               # djpeg overhead grid
+//	sempe-bench -exp fig9               # cache miss rates
+//	sempe-bench -exp fig10a -quick      # microbenchmark slowdowns (subset)
+//	sempe-bench -exp fig10b,table1      # several scenarios in one run
+//	sempe-bench -exp leakmatrix         # side-channel distinguisher matrix
 //	sempe-bench -exp all
 //
-// Each grid point of a sweep simulates on an independent core, so the sweeps
-// fan out across -parallel worker goroutines (default: all CPUs) with
-// bit-identical results to a serial run. -cpuprofile writes a pprof profile
-// of the whole run for simulator performance work.
+// Scenarios are parameterized with repeated -param flags (axes and knobs
+// are scenario-specific; -list names them):
+//
+//	sempe-bench -exp fig10a -param kinds=fibonacci,queens -param ws=1,4
+//
+// -format selects the output encoding: text (the paper-shaped tables),
+// json (structured results, typed cells), or csv. Each grid point of a
+// sweep simulates on an independent core, so the sweeps fan out across
+// -parallel worker goroutines (default: all CPUs) with bit-identical
+// results to a serial run; scenarios sharing a sweep (fig10a/fig10b/table1,
+// fig8/fig9) simulate their grid once per invocation. -cpuprofile writes a
+// pprof profile of the whole run for simulator performance work.
 //
 // Absolute cycle counts come from this repository's simulator, not the
 // authors' gem5 testbed; EXPERIMENTS.md compares the shapes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
-	"repro/internal/experiments"
-	"repro/internal/workloads"
+	_ "repro/internal/experiments" // registers the paper's scenarios
+	"repro/internal/scenario"
 )
 
+// paramFlag collects repeated -param key=value flags.
+type paramFlag map[string]string
+
+func (p paramFlag) String() string { return fmt.Sprintf("%v", map[string]string(p)) }
+
+func (p paramFlag) Set(s string) error {
+	k, v, found := strings.Cut(s, "=")
+	if !found || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	p[k] = v
+	return nil
+}
+
 func main() {
+	params := paramFlag{}
 	var (
-		exp        = flag.String("exp", "all", "table1|table2|fig8|fig9|fig10a|fig10b|all")
-		quick      = flag.Bool("quick", false, "reduced sweep (W in {1,4,10}, fewer iterations)")
+		exp        = flag.String("exp", "all", "scenario name(s), comma separated, or \"all\" (see -list)")
+		list       = flag.Bool("list", false, "list registered scenarios and exit")
+		format     = flag.String("format", "text", "output encoding: text|json|csv")
+		quick      = flag.Bool("quick", false, "reduced sweeps (seconds, not minutes)")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the sweeps (1 = serial)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
+	flag.Var(params, "param", "scenario parameter key=value (repeatable)")
 	flag.Parse()
 	start := time.Now()
+
+	if *list {
+		listScenarios()
+		return
+	}
+
+	var scenarios []*scenario.Scenario
+	if *exp == "all" {
+		scenarios = scenario.Scenarios()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			sc, ok := scenario.Lookup(strings.TrimSpace(name))
+			if !ok {
+				fatal("unknown experiment %q; registered scenarios: %s",
+					name, strings.Join(scenario.Names(), ", "))
+			}
+			scenarios = append(scenarios, sc)
+		}
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fatal("unknown format %q (want text, json, or csv)", *format)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -57,62 +111,60 @@ func main() {
 		defer stopProfile()
 	}
 
-	fig10Spec := experiments.DefaultFig10Spec()
-	fig10Spec.Workers = *parallel
-	if *quick {
-		fig10Spec.Ws = []int{1, 4, 10}
-		fig10Spec.Iters = 4
+	spec := scenario.Spec{Quick: *quick, Workers: *parallel, Params: params}
+	// One row cache per invocation: scenarios sharing a sweep (fig10a,
+	// fig10b, table1) simulate their grid once.
+	rows := scenario.NewRowCache()
+	var results []*scenario.Result
+	for _, sc := range scenarios {
+		fmt.Fprintf(os.Stderr, "running %s (%d workers)...\n", sc.Name, *parallel)
+		res, err := scenario.Run(sc, spec, scenario.RunOptions{Rows: rows})
+		if err != nil {
+			fatal("%v", err)
+		}
+		results = append(results, res)
 	}
 
-	needFig10 := *exp == "fig10a" || *exp == "fig10b" || *exp == "table1" || *exp == "all"
-	needFig8 := *exp == "fig8" || *exp == "fig9" || *exp == "all"
-
-	var fig10Rows []experiments.Fig10Row
-	if needFig10 {
-		var err error
-		fmt.Fprintf(os.Stderr, "running Fig. 10 sweep (%d workloads x %d depths x 3 variants, %d workers)...\n",
-			len(fig10Spec.Kinds), len(fig10Spec.Ws), *parallel)
-		fig10Rows, err = experiments.Fig10(fig10Spec)
-		if err != nil {
-			fatal("fig10: %v", err)
+	switch *format {
+	case "text":
+		for _, res := range results {
+			for _, t := range res.Tables {
+				t.Render(os.Stdout)
+			}
+		}
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(results) == 1 {
+			err := enc.Encode(results[0])
+			if err != nil {
+				fatal("json: %v", err)
+			}
+		} else if err := enc.Encode(results); err != nil {
+			fatal("json: %v", err)
+		}
+	case "csv":
+		for _, res := range results {
+			for _, t := range res.Tables {
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					fatal("csv: %v", err)
+				}
+				fmt.Println()
+			}
 		}
 	}
-	var fig8Rows []experiments.Fig8Row
-	if needFig8 {
-		var err error
-		fig8Spec := experiments.DefaultFig8Spec()
-		fig8Spec.Workers = *parallel
-		fmt.Fprintf(os.Stderr, "running Fig. 8/9 djpeg grid (%d workers)...\n", *parallel)
-		fig8Rows, err = experiments.Fig8(fig8Spec)
-		if err != nil {
-			fatal("fig8: %v", err)
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start))
+}
+
+func listScenarios() {
+	for _, sc := range scenario.Scenarios() {
+		fmt.Printf("%-12s %s\n", sc.Name, sc.Description)
+		if axes, err := sc.Sweep.Axes(scenario.Spec{}); err == nil && len(axes) > 0 {
+			for _, a := range axes {
+				fmt.Printf("             axis %s: %s\n", a.Name, strings.Join(a.Values, " "))
+			}
 		}
 	}
-
-	switch *exp {
-	case "table2":
-		experiments.Table2().Render(os.Stdout)
-	case "table1":
-		experiments.Table1(fig10Rows).Render(os.Stdout)
-	case "fig8":
-		experiments.RenderFig8(fig8Rows).Render(os.Stdout)
-	case "fig9":
-		experiments.RenderFig9(fig8Rows).Render(os.Stdout)
-	case "fig10a":
-		experiments.RenderFig10a(fig10Rows).Render(os.Stdout)
-	case "fig10b":
-		experiments.RenderFig10b(fig10Rows).Render(os.Stdout)
-	case "all":
-		experiments.Table2().Render(os.Stdout)
-		experiments.RenderFig8(fig8Rows).Render(os.Stdout)
-		experiments.RenderFig9(fig8Rows).Render(os.Stdout)
-		experiments.RenderFig10a(fig10Rows).Render(os.Stdout)
-		experiments.RenderFig10b(fig10Rows).Render(os.Stdout)
-		experiments.Table1(fig10Rows).Render(os.Stdout)
-	default:
-		fatal("unknown experiment %q", *exp)
-	}
-	fmt.Fprintf(os.Stderr, "done in %v (workload kinds: %v)\n", time.Since(start), workloads.All())
 }
 
 // stopProfile flushes the CPU profile, if one is active. Replaced by main

@@ -34,17 +34,10 @@ func main() {
 
 	build := func(mode compile.Mode) func(uint64) (*isa.Program, error) {
 		return func(secret uint64) (*isa.Program, error) {
-			if strings.HasPrefix(*workload, "djpeg-") {
-				var f jpegsim.Format
-				switch strings.TrimPrefix(*workload, "djpeg-") {
-				case "ppm":
-					f = jpegsim.PPM
-				case "gif":
-					f = jpegsim.GIF
-				case "bmp":
-					f = jpegsim.BMP
-				default:
-					return nil, fmt.Errorf("unknown workload %q", *workload)
+			if name, isImage := strings.CutPrefix(*workload, "djpeg-"); isImage {
+				f, err := jpegsim.ParseFormat(name)
+				if err != nil {
+					return nil, fmt.Errorf("unknown workload %q: %w", *workload, err)
 				}
 				spec := jpegsim.ImageSpec{Format: f, Blocks: *blocks, Sparsity: 50, Seed: secret}
 				out, err := compile.Compile(jpegsim.BuildProgram(spec), mode)
@@ -53,15 +46,9 @@ func main() {
 				}
 				return out.Prog, nil
 			}
-			var kind workloads.Kind
-			found := false
-			for _, k := range workloads.All() {
-				if k.String() == *workload {
-					kind, found = k, true
-				}
-			}
-			if !found {
-				return nil, fmt.Errorf("unknown workload %q", *workload)
+			kind, err := workloads.Parse(*workload)
+			if err != nil {
+				return nil, fmt.Errorf("unknown workload %q: %w", *workload, err)
 			}
 			spec := workloads.HarnessSpec{Kind: kind, W: *w, I: *iters, Secret: secret}
 			out, err := compile.Compile(workloads.Harness(spec), mode)

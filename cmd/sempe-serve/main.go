@@ -1,0 +1,45 @@
+// Command sempe-serve exposes the scenario registry as an HTTP evaluation
+// service: list scenarios, start parameterized sweeps with bounded
+// concurrency, poll progress, and fetch structured results. Completed
+// results are cached in-memory (LRU, keyed by scenario + spec), so
+// repeated queries are served without re-simulating.
+//
+//	sempe-serve -addr :8080
+//
+//	curl localhost:8080/scenarios
+//	curl -X POST localhost:8080/runs -d '{"scenario":"fig10a","spec":{"quick":true},"wait":true}'
+//	curl -X POST localhost:8080/runs -d '{"scenario":"leakmatrix"}'   # 202 + poll
+//	curl localhost:8080/runs/run-2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	_ "repro/internal/experiments" // registers the paper's scenarios
+	"repro/internal/scenario"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("max-workers", 0, "cap on per-run worker goroutines (0 = all CPUs)")
+		runs    = flag.Int("max-runs", 2, "sweeps simulating concurrently; further runs queue")
+		entries = flag.Int("cache", 64, "LRU result-cache capacity (completed runs)")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		MaxWorkers:        *workers,
+		MaxConcurrentRuns: *runs,
+		CacheEntries:      *entries,
+	})
+	log.Printf("sempe-serve: listening on %s (%d scenarios registered)", *addr, len(scenario.Names()))
+	for _, name := range scenario.Names() {
+		fmt.Printf("  %s\n", name)
+	}
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,67 +1,30 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§VI): Fig. 8 (djpeg execution-time overhead), Fig. 9 (cache
-// miss rates), Fig. 10a/b (microbenchmark slowdowns vs. nesting depth,
-// SeMPE vs. FaCT-style CTE), Table I (approach comparison), and Table II
-// (the baseline configuration echo). The cmd/sempe-bench tool and the
-// repository-level benchmarks are thin wrappers around this package.
+// Package experiments defines the paper's evaluation (§VI) as scenarios on
+// the declarative sweep engine (internal/scenario): Fig. 8 (djpeg
+// execution-time overhead), Fig. 9 (cache miss rates), Fig. 10a/b
+// (microbenchmark slowdowns vs. nesting depth, SeMPE vs. FaCT-style CTE),
+// Table I (approach comparison), Table II (the baseline configuration
+// echo), and the leakmatrix security sweep (the side-channel distinguisher
+// over every kernel and nesting depth).
+//
+// Each scenario registers itself into the scenario registry at init time;
+// cmd/sempe-bench and cmd/sempe-serve resolve them by name, so the cmd
+// layer never grows per-figure code. The typed entry points (Fig10, Fig8)
+// run through the same engine sweeps as the registry path and are kept for
+// Go callers: tests, benchmarks, and the examples.
 package experiments
 
 import (
 	"fmt"
-	"sync"
+	"strconv"
+	"strings"
 
 	"repro/internal/compile"
 	"repro/internal/isa"
-	"repro/internal/jpegsim"
 	"repro/internal/lang"
 	"repro/internal/pipeline"
-	"repro/internal/stats"
+	"repro/internal/scenario"
 	"repro/internal/workloads"
 )
-
-// runGrid evaluates fn(i) for every i in [0, n), fanning the calls across a
-// bounded pool of worker goroutines. Every grid point of the evaluation
-// constructs an independent Core, so points are embarrassingly parallel; the
-// caller writes results into a pre-sized slice indexed by i, which keeps the
-// output order deterministic regardless of scheduling. The returned error is
-// the lowest-indexed failure, so error reporting is deterministic too.
-// workers <= 1 runs serially.
-func runGrid(n, workers int, fn func(i int) error) error {
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-	errs := make([]error, n)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
 
 // Run executes a compiled program on a core and returns it.
 func Run(cfg pipeline.Config, prog *isa.Program) (*pipeline.Core, error) {
@@ -80,292 +43,91 @@ func mustRun(cfg pipeline.Config, p *lang.Program, mode compile.Mode) (*pipeline
 	return Run(cfg, out.Prog)
 }
 
-// ---------------------------------------------------------------- Fig. 10
+// ------------------------------------------------- spec parameter plumbing
 
-// Fig10Row is one (kernel, W) point of Fig. 10.
-type Fig10Row struct {
-	Kind        workloads.Kind
-	W           int
-	BaseCycles  uint64
-	SeMPECycles uint64
-	CTECycles   uint64
-	// Slowdowns relative to the unprotected baseline (Fig. 10a).
-	SeMPESlowdown float64
-	CTESlowdown   float64
-	// Ideal slowdown = sum of all branch-path times / baseline ≈ W+1
-	// (paper §IV-A); Fig. 10b normalizes to it.
-	Ideal float64
-}
-
-// Fig10Spec parameterizes the microbenchmark sweep.
-type Fig10Spec struct {
-	Kinds  []workloads.Kind
-	Ws     []int
-	Iters  int
-	Secret uint64 // baseline input; 0 = fall through to the last path
-
-	// Workers bounds the goroutine pool the sweep fans out over; each
-	// (kernel, W) point runs on its own Core, so results are identical to a
-	// serial sweep. <= 1 runs serially.
-	Workers int
-}
-
-// DefaultFig10Spec covers the paper's full W axis.
-func DefaultFig10Spec() Fig10Spec {
-	return Fig10Spec{
-		Kinds: workloads.All(),
-		Ws:    []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
-		Iters: 8,
-	}
-}
-
-// Fig10 measures every (kernel, W) point: the baseline binary on the
-// unprotected core, the SeMPE binary on the secure core, and the
-// hand-written constant-time program on the unprotected core.
-func Fig10(spec Fig10Spec) ([]Fig10Row, error) {
-	type point struct {
-		kind workloads.Kind
-		w    int
-	}
-	var pts []point
-	for _, kind := range spec.Kinds {
-		for _, w := range spec.Ws {
-			pts = append(pts, point{kind, w})
+// checkParams rejects unknown parameter keys so a typo ("kind" for
+// "kinds") fails loudly instead of silently running the default grid.
+func checkParams(spec scenario.Spec, known ...string) error {
+	for k := range spec.Params {
+		ok := false
+		for _, want := range known {
+			if k == want {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown parameter %q (have %s)", k, strings.Join(known, ", "))
 		}
 	}
-	rows := make([]Fig10Row, len(pts))
-	err := runGrid(len(pts), spec.Workers, func(i int) error {
-		kind, w := pts[i].kind, pts[i].w
-		hs := workloads.HarnessSpec{Kind: kind, W: w, I: spec.Iters, Secret: spec.Secret}
-		structured := workloads.Harness(hs)
-		base, err := mustRun(pipeline.DefaultConfig(), structured, compile.Plain)
-		if err != nil {
-			return fmt.Errorf("fig10 %v W=%d base: %w", kind, w, err)
-		}
-		sec, err := mustRun(pipeline.SecureConfig(), structured, compile.SeMPE)
-		if err != nil {
-			return fmt.Errorf("fig10 %v W=%d sempe: %w", kind, w, err)
-		}
-		cte, err := mustRun(pipeline.DefaultConfig(), workloads.HarnessCT(hs), compile.Plain)
-		if err != nil {
-			return fmt.Errorf("fig10 %v W=%d cte: %w", kind, w, err)
-		}
-		row := Fig10Row{
-			Kind:        kind,
-			W:           w,
-			BaseCycles:  base.Stats.Cycles,
-			SeMPECycles: sec.Stats.Cycles,
-			CTECycles:   cte.Stats.Cycles,
-			Ideal:       float64(w + 1),
-		}
-		row.SeMPESlowdown = float64(sec.Stats.Cycles) / float64(base.Stats.Cycles)
-		row.CTESlowdown = float64(cte.Stats.Cycles) / float64(base.Stats.Cycles)
-		rows[i] = row
+	return nil
+}
+
+// splitCSV splits a comma-separated parameter; the empty string is an
+// empty list.
+func splitCSV(s string) []string {
+	if s == "" {
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return rows, nil
+	return strings.Split(s, ",")
 }
 
-// RenderFig10a renders the slowdown-vs-baseline series (log-scale plot in
-// the paper; we print the series values).
-func RenderFig10a(rows []Fig10Row) *stats.Table {
-	t := &stats.Table{
-		Title:  "Figure 10a: execution-time slowdown vs. baseline (SeMPE solid, FaCT/CTE dashed)",
-		Header: []string{"workload", "W", "SeMPE", "CTE(FaCT)", "CTE/SeMPE"},
-	}
-	for _, r := range rows {
-		t.AddRow(r.Kind.String(), fmt.Sprintf("%d", r.W),
-			stats.Ratio(r.SeMPESlowdown), stats.Ratio(r.CTESlowdown),
-			stats.Ratio(r.CTESlowdown/r.SeMPESlowdown))
-	}
-	t.AddNote("paper: SeMPE 8.4-10.6x at W=10 (≈ the W+1 branch paths); CTE 3-32x at W=1, 12.9-187.3x at W=10; CTE up to 18x slower than SeMPE")
-	return t
-}
-
-// RenderFig10b renders the slowdown normalized to the ideal (sum of all
-// branch-path execution times).
-func RenderFig10b(rows []Fig10Row) *stats.Table {
-	t := &stats.Table{
-		Title:  "Figure 10b: average slowdown normalized to ideal (= sum of all path times ≈ W+1)",
-		Header: []string{"workload", "W", "SeMPE/ideal", "CTE/ideal"},
-	}
-	for _, r := range rows {
-		t.AddRow(r.Kind.String(), fmt.Sprintf("%d", r.W),
-			stats.Float(r.SeMPESlowdown/r.Ideal, 2),
-			stats.Float(r.CTESlowdown/r.Ideal, 2))
-	}
-	t.AddNote("paper: SeMPE sits at or slightly below 1.0 (prefetching effect); CTE grows super-linearly above it")
-	return t
-}
-
-// ----------------------------------------------------------- Fig. 8 and 9
-
-// Fig8Row is one (format, size) cell of Fig. 8, carrying the Fig. 9 cache
-// statistics from the same pair of runs.
-type Fig8Row struct {
-	Format   jpegsim.Format
-	Size     string
-	Blocks   int
-	Base     *pipeline.Core
-	Secure   *pipeline.Core
-	Overhead float64 // SeMPE/Baseline - 1
-}
-
-// Fig8Spec parameterizes the djpeg sweep.
-type Fig8Spec struct {
-	Sparsity int
-	Seed     uint64
-	Sizes    []struct {
-		Label  string
-		Blocks int
-	}
-
-	// Workers bounds the goroutine pool (see Fig10Spec.Workers).
-	Workers int
-}
-
-// DefaultFig8Spec mirrors the paper's grid: three formats by four sizes.
-// 60% busy blocks puts the decoder in the regime where the measured
-// overheads land inside the paper's 31-87% band.
-func DefaultFig8Spec() Fig8Spec {
-	return Fig8Spec{Sparsity: 60, Seed: 11, Sizes: jpegsim.SizeLabels}
-}
-
-// Fig8 runs the decoder grid.
-func Fig8(spec Fig8Spec) ([]Fig8Row, error) {
-	type cell struct {
-		format jpegsim.Format
-		label  string
-		blocks int
-	}
-	var cells []cell
-	for _, f := range jpegsim.Formats() {
-		for _, size := range spec.Sizes {
-			cells = append(cells, cell{f, size.Label, size.Blocks})
-		}
-	}
-	rows := make([]Fig8Row, len(cells))
-	err := runGrid(len(cells), spec.Workers, func(i int) error {
-		cl := cells[i]
-		img := jpegsim.ImageSpec{Format: cl.format, Blocks: cl.blocks, Sparsity: spec.Sparsity, Seed: spec.Seed}
-		p := jpegsim.BuildProgram(img)
-		base, err := mustRun(pipeline.DefaultConfig(), p, compile.Plain)
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitCSV(s) {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			return fmt.Errorf("fig8 %v/%s base: %w", cl.format, cl.label, err)
+			return nil, fmt.Errorf("bad integer %q", f)
 		}
-		sec, err := mustRun(pipeline.SecureConfig(), p, compile.SeMPE)
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseUints(s string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range splitCSV(s) {
+		v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
 		if err != nil {
-			return fmt.Errorf("fig8 %v/%s sempe: %w", cl.format, cl.label, err)
+			return nil, fmt.Errorf("bad unsigned integer %q", f)
 		}
-		rows[i] = Fig8Row{
-			Format:   cl.format,
-			Size:     cl.label,
-			Blocks:   cl.blocks,
-			Base:     base,
-			Secure:   sec,
-			Overhead: float64(sec.Stats.Cycles)/float64(base.Stats.Cycles) - 1,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		out = append(out, v)
 	}
-	return rows, nil
+	return out, nil
 }
 
-// RenderFig8 renders the execution-time overhead grid.
-func RenderFig8(rows []Fig8Row) *stats.Table {
-	t := &stats.Table{
-		Title:  "Figure 8: libjpeg (djpeg) execution-time overhead of SeMPE vs. unprotected baseline",
-		Header: []string{"format", "size", "base cycles", "SeMPE cycles", "overhead"},
-	}
-	for _, r := range rows {
-		t.AddRow(r.Format.String(), r.Size,
-			stats.Int(r.Base.Stats.Cycles), stats.Int(r.Secure.Stats.Cycles),
-			stats.Percent(r.Overhead))
-	}
-	t.AddNote("paper: overheads between 31%% and 87%% across formats (PPM > GIF > BMP), largely independent of input size")
-	return t
-}
-
-// RenderFig9 renders the three cache miss-rate panels.
-func RenderFig9(rows []Fig8Row) *stats.Table {
-	t := &stats.Table{
-		Title: "Figure 9: cache miss rates, baseline vs. SeMPE (IL1 / DL1 / L2)",
-		Header: []string{"format", "size",
-			"IL1 base", "IL1 SeMPE", "DL1 base", "DL1 SeMPE", "L2 base", "L2 SeMPE"},
-	}
-	for _, r := range rows {
-		t.AddRow(r.Format.String(), r.Size,
-			stats.Percent(r.Base.Hier.IL1.Stats.MissRate()),
-			stats.Percent(r.Secure.Hier.IL1.Stats.MissRate()),
-			stats.Percent(r.Base.Hier.DL1.Stats.MissRate()),
-			stats.Percent(r.Secure.Hier.DL1.Stats.MissRate()),
-			stats.Percent(r.Base.Hier.L2.Stats.MissRate()),
-			stats.Percent(r.Secure.Hier.L2.Stats.MissRate()))
-	}
-	t.AddNote("paper: IL1 miss rates low and size-insensitive; DL1/L2 similar between baseline and SeMPE, with slight locality benefits from dual-path execution")
-	return t
-}
-
-// ----------------------------------------------------------------- Tables
-
-// Table1 reproduces the qualitative comparison of approaches, substituting
-// this repository's measured worst-case overheads for CTE and SeMPE (the
-// GhostRider and Raccoon columns quote the numbers reported in the paper,
-// as the paper itself does).
-func Table1(rows []Fig10Row) *stats.Table {
-	worstSeMPE, worstCTE := 0.0, 0.0
-	for _, r := range rows {
-		if r.SeMPESlowdown > worstSeMPE {
-			worstSeMPE = r.SeMPESlowdown
+func parseKinds(s string) ([]workloads.Kind, error) {
+	var out []workloads.Kind
+	for _, f := range splitCSV(s) {
+		k, err := workloads.Parse(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
 		}
-		if r.CTESlowdown > worstCTE {
-			worstCTE = r.CTESlowdown
-		}
+		out = append(out, k)
 	}
-	t := &stats.Table{
-		Title:  "Table I: comparing approaches to eliminate SDBCB",
-		Header: []string{"aspect", "CTE", "GhostRider", "Raccoon", "SeMPE"},
-	}
-	t.AddRow("approach", "elim. cond. branch", "equalize path", "execute both paths", "execute both paths")
-	t.AddRow("technique", "SW", "HW/SW", "SW", "HW/SW")
-	t.AddRow("programming complexity", "High", "Low", "Low", "Low")
-	t.AddRow("overheads (paper)", "187.3x", "1987x", "452x", "10.6x")
-	t.AddRow("overheads (measured here)", stats.Ratio(worstCTE), "n/a", "n/a", stats.Ratio(worstSeMPE))
-	t.AddRow("simple architecture", "Yes", "No", "Yes", "Yes")
-	t.AddRow("backward compatible", "Yes", "No", "No", "Yes")
-	t.AddNote("measured values are the worst case over the Fig. 10 sweep on this repository's simulator")
-	return t
+	return out, nil
 }
 
-// Table2 echoes the simulated baseline configuration and checks it against
-// the paper's Table II values.
-func Table2() *stats.Table {
-	cfg := pipeline.DefaultConfig()
-	t := &stats.Table{
-		Title:  "Table II: baseline microarchitecture model",
-		Header: []string{"parameter", "value", "paper"},
+func kindNames(kinds []workloads.Kind) string {
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
 	}
-	t.AddRow("fetch", fmt.Sprintf("%d instructions/cycle", cfg.FetchWidth), "8")
-	t.AddRow("decode", fmt.Sprintf("%d uops/cycle", cfg.DecodeWidth), "8")
-	t.AddRow("rename", fmt.Sprintf("%d uops/cycle", cfg.RenameWidth), "8")
-	t.AddRow("issue", fmt.Sprintf("%d uops/cycle", cfg.IssueWidth), "8")
-	t.AddRow("load issue", fmt.Sprintf("%d loads/cycle", cfg.NumLoad), "2")
-	t.AddRow("retire", fmt.Sprintf("%d uops/cycle", cfg.RetireWidth), "12")
-	t.AddRow("reorder buffer", fmt.Sprintf("%d uops", cfg.ROBSize), "192")
-	t.AddRow("physical registers", fmt.Sprintf("%d INT", cfg.PhysRegs), "256 INT, 256 FP")
-	t.AddRow("issue buffers", fmt.Sprintf("%d uops", cfg.IQSize), "60 INT / 60 FP")
-	t.AddRow("load/store queue", fmt.Sprintf("%d+%d entries", cfg.LQSize, cfg.SQSize), "32+32")
-	t.AddRow("branch predictor", "TAGE ~31KB, ITTAGE ~6KB", "31KB TAGE, 6KB ITTAGE")
-	t.AddRow("DL1 cache", fmt.Sprintf("%dKB, %d-way", cfg.Caches.DL1.SizeBytes>>10, cfg.Caches.DL1.Ways), "32KB, 2-way")
-	t.AddRow("IL1 cache", fmt.Sprintf("%dKB, %d-way", cfg.Caches.IL1.SizeBytes>>10, cfg.Caches.IL1.Ways), "16KB, 2-way")
-	t.AddRow("L2 cache", fmt.Sprintf("%dKB, %d-way", cfg.Caches.L2.SizeBytes>>10, cfg.Caches.L2.Ways), "256KB, 2-way")
-	t.AddRow("prefetcher", "stride (DL1), stream (L2)", "stride (L1), stream (L2)")
-	t.AddRow("SPM", fmt.Sprintf("%d snapshots, %d B/cycle", cfg.SPM.Slots, cfg.SPM.Bandwidth), "216KB / 30 snapshots, 64 B/cycle")
-	t.AddNote("no FP pipeline or TLB is modeled; the ISA is integer-only (see DESIGN.md)")
-	return t
+	return strings.Join(names, ",")
+}
+
+func intsCSV(vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func uintsCSV(vs []uint64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatUint(v, 10)
+	}
+	return strings.Join(parts, ",")
 }

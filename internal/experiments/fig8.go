@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/jpegsim"
+	"repro/internal/pipeline"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// Fig8Row is one (format, size) cell of Fig. 8, carrying the Fig. 9 cache
+// statistics from the same pair of runs.
+type Fig8Row struct {
+	Format   jpegsim.Format
+	Size     string
+	Blocks   int
+	Base     *pipeline.Core
+	Secure   *pipeline.Core
+	Overhead float64 // SeMPE/Baseline - 1
+}
+
+// Fig8Spec parameterizes the djpeg sweep.
+type Fig8Spec struct {
+	Sparsity int
+	Seed     uint64
+	Sizes    []jpegsim.Size
+
+	// Workers bounds the goroutine pool (see Fig10Spec.Workers).
+	Workers int
+}
+
+// DefaultFig8Spec mirrors the paper's grid: three formats by four sizes.
+// 60% busy blocks puts the decoder in the regime where the measured
+// overheads land inside the paper's 31-87% band.
+func DefaultFig8Spec() Fig8Spec {
+	return Fig8Spec{Sparsity: 60, Seed: 11, Sizes: jpegsim.SizeLabels}
+}
+
+// fig8SpecOf decodes an engine spec. The "sizes" parameter accepts the
+// paper's size labels ("256k,512k") or explicit label:blocks pairs
+// ("tiny:8").
+func fig8SpecOf(spec scenario.Spec) (Fig8Spec, error) {
+	if err := checkParams(spec, "sparsity", "seed", "sizes"); err != nil {
+		return Fig8Spec{}, err
+	}
+	f := DefaultFig8Spec()
+	if spec.Quick {
+		f.Sizes = f.Sizes[:2]
+	}
+	var err error
+	if v, ok := spec.Params["sparsity"]; ok {
+		if f.Sparsity, err = strconv.Atoi(v); err != nil {
+			return Fig8Spec{}, fmt.Errorf("sparsity: %w", err)
+		}
+	}
+	if v, ok := spec.Params["seed"]; ok {
+		if f.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return Fig8Spec{}, fmt.Errorf("seed: %w", err)
+		}
+	}
+	if v, ok := spec.Params["sizes"]; ok {
+		f.Sizes = nil
+		for _, field := range splitCSV(v) {
+			field = strings.TrimSpace(field)
+			if label, blocks, found := strings.Cut(field, ":"); found {
+				n, err := strconv.Atoi(blocks)
+				if err != nil || n <= 0 {
+					return Fig8Spec{}, fmt.Errorf("sizes: bad block count in %q", field)
+				}
+				f.Sizes = append(f.Sizes, jpegsim.Size{Label: label, Blocks: n})
+				continue
+			}
+			size, ok := jpegsim.SizeByLabel(field)
+			if !ok {
+				return Fig8Spec{}, fmt.Errorf("sizes: unknown size label %q", field)
+			}
+			f.Sizes = append(f.Sizes, size)
+		}
+	}
+	f.Workers = spec.Workers
+	return f, nil
+}
+
+// engineSpec encodes the typed spec as engine parameters (inverse of
+// fig8SpecOf). Sizes are encoded as label:blocks pairs so custom grids
+// round-trip.
+func (f Fig8Spec) engineSpec() scenario.Spec {
+	sizes := make([]string, len(f.Sizes))
+	for i, s := range f.Sizes {
+		sizes[i] = fmt.Sprintf("%s:%d", s.Label, s.Blocks)
+	}
+	return scenario.Spec{
+		Workers: f.Workers,
+		Params: map[string]string{
+			"sparsity": strconv.Itoa(f.Sparsity),
+			"seed":     strconv.FormatUint(f.Seed, 10),
+			"sizes":    strings.Join(sizes, ","),
+		},
+	}
+}
+
+// fig8Sweep is the djpeg decoder grid shared by fig8 and fig9.
+var fig8Sweep = &scenario.Sweep{
+	ID: "fig8",
+	Axes: func(spec scenario.Spec) ([]scenario.Axis, error) {
+		f, err := fig8SpecOf(spec)
+		if err != nil {
+			return nil, err
+		}
+		formats := make([]string, 0, len(jpegsim.Formats()))
+		for _, fm := range jpegsim.Formats() {
+			formats = append(formats, fm.String())
+		}
+		sizes := make([]string, len(f.Sizes))
+		for i, s := range f.Sizes {
+			sizes[i] = s.Label
+		}
+		return []scenario.Axis{
+			{Name: "format", Values: formats},
+			{Name: "size", Values: sizes},
+		}, nil
+	},
+	Run: func(spec scenario.Spec, p scenario.Point) (any, error) {
+		f, err := fig8SpecOf(spec)
+		if err != nil {
+			return nil, err
+		}
+		return fig8Point(f, jpegsim.Formats()[p.Coords[0]], f.Sizes[p.Coords[1]])
+	},
+}
+
+// fig8Point runs one (format, size) cell: the decoder on the unprotected
+// core and on the secure core.
+func fig8Point(spec Fig8Spec, format jpegsim.Format, size jpegsim.Size) (Fig8Row, error) {
+	img := jpegsim.ImageSpec{Format: format, Blocks: size.Blocks, Sparsity: spec.Sparsity, Seed: spec.Seed}
+	p := jpegsim.BuildProgram(img)
+	base, err := mustRun(pipeline.DefaultConfig(), p, compile.Plain)
+	if err != nil {
+		return Fig8Row{}, fmt.Errorf("fig8 %v/%s base: %w", format, size.Label, err)
+	}
+	sec, err := mustRun(pipeline.SecureConfig(), p, compile.SeMPE)
+	if err != nil {
+		return Fig8Row{}, fmt.Errorf("fig8 %v/%s sempe: %w", format, size.Label, err)
+	}
+	return Fig8Row{
+		Format:   format,
+		Size:     size.Label,
+		Blocks:   size.Blocks,
+		Base:     base,
+		Secure:   sec,
+		Overhead: float64(sec.Stats.Cycles)/float64(base.Stats.Cycles) - 1,
+	}, nil
+}
+
+// Fig8 runs the decoder grid through the engine sweep.
+func Fig8(spec Fig8Spec) ([]Fig8Row, error) {
+	rows, err := scenario.SweepRows(fig8Sweep, spec.engineSpec(), scenario.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return fig8Rows(rows), nil
+}
+
+func fig8Rows(rows []any) []Fig8Row {
+	out := make([]Fig8Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.(Fig8Row)
+	}
+	return out
+}
+
+// RenderFig8 renders the execution-time overhead grid.
+func RenderFig8(rows []Fig8Row) *stats.Table {
+	t := &stats.Table{
+		Title:  "Figure 8: libjpeg (djpeg) execution-time overhead of SeMPE vs. unprotected baseline",
+		Header: []string{"format", "size", "base cycles", "SeMPE cycles", "overhead"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Format.String(), r.Size,
+			stats.Int(r.Base.Stats.Cycles), stats.Int(r.Secure.Stats.Cycles),
+			stats.Percent(r.Overhead))
+	}
+	t.AddNote("paper: overheads between 31%% and 87%% across formats (PPM > GIF > BMP), largely independent of input size")
+	return t
+}
+
+// RenderFig9 renders the three cache miss-rate panels.
+func RenderFig9(rows []Fig8Row) *stats.Table {
+	t := &stats.Table{
+		Title: "Figure 9: cache miss rates, baseline vs. SeMPE (IL1 / DL1 / L2)",
+		Header: []string{"format", "size",
+			"IL1 base", "IL1 SeMPE", "DL1 base", "DL1 SeMPE", "L2 base", "L2 SeMPE"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Format.String(), r.Size,
+			stats.Percent(r.Base.Hier.IL1.Stats.MissRate()),
+			stats.Percent(r.Secure.Hier.IL1.Stats.MissRate()),
+			stats.Percent(r.Base.Hier.DL1.Stats.MissRate()),
+			stats.Percent(r.Secure.Hier.DL1.Stats.MissRate()),
+			stats.Percent(r.Base.Hier.L2.Stats.MissRate()),
+			stats.Percent(r.Secure.Hier.L2.Stats.MissRate()))
+	}
+	t.AddNote("paper: IL1 miss rates low and size-insensitive; DL1/L2 similar between baseline and SeMPE, with slight locality benefits from dual-path execution")
+	return t
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// The paper's artifacts and the security sweep, registered in the order
+// `-exp all` renders them. Fig. 10a/b and Table I are three renderings of
+// one microbenchmark sweep, and Fig. 8/9 two renderings of one djpeg grid:
+// sharing the Sweep lets a RowCache-equipped invocation simulate each grid
+// once.
+func init() {
+	scenario.Register(&scenario.Scenario{
+		Name:        "table2",
+		Description: "Table II: baseline microarchitecture configuration echo",
+		Sweep:       table2Sweep,
+		Render: func(scenario.Spec, []any) []*stats.Table {
+			return []*stats.Table{Table2()}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
+		Name:        "fig8",
+		Description: "Fig. 8: djpeg execution-time overhead grid (formats x sizes); params: sparsity, seed, sizes",
+		Sweep:       fig8Sweep,
+		Render: func(_ scenario.Spec, rows []any) []*stats.Table {
+			return []*stats.Table{RenderFig8(fig8Rows(rows))}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
+		Name:        "fig9",
+		Description: "Fig. 9: cache miss rates over the djpeg grid; params: sparsity, seed, sizes",
+		Sweep:       fig8Sweep,
+		Render: func(_ scenario.Spec, rows []any) []*stats.Table {
+			return []*stats.Table{RenderFig9(fig8Rows(rows))}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
+		Name:        "fig10a",
+		Description: "Fig. 10a: microbenchmark slowdown vs. baseline (kernels x W); params: kinds, ws, iters, secret",
+		Sweep:       fig10Sweep,
+		Render: func(_ scenario.Spec, rows []any) []*stats.Table {
+			return []*stats.Table{RenderFig10a(fig10Rows(rows))}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
+		Name:        "fig10b",
+		Description: "Fig. 10b: slowdown normalized to the ideal W+1; params: kinds, ws, iters, secret",
+		Sweep:       fig10Sweep,
+		Render: func(_ scenario.Spec, rows []any) []*stats.Table {
+			return []*stats.Table{RenderFig10b(fig10Rows(rows))}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
+		Name:        "table1",
+		Description: "Table I: approach comparison with measured worst-case overheads; params: kinds, ws, iters, secret",
+		Sweep:       fig10Sweep,
+		Render: func(_ scenario.Spec, rows []any) []*stats.Table {
+			return []*stats.Table{Table1(fig10Rows(rows))}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
+		Name:        "leakmatrix",
+		Description: "security sweep: observable-channel distinguisher, baseline vs. SeMPE (kernels x W); params: kinds, ws, iters, secrets",
+		Sweep:       leakSweep,
+		Render: func(_ scenario.Spec, rows []any) []*stats.Table {
+			lrs := make([]LeakRow, len(rows))
+			for i, r := range rows {
+				lrs[i] = r.(LeakRow)
+			}
+			return []*stats.Table{RenderLeakMatrix(lrs)}
+		},
+	})
+}

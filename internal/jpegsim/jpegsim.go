@@ -37,6 +37,21 @@ const (
 // Formats returns all output formats in figure order.
 func Formats() []Format { return []Format{PPM, GIF, BMP} }
 
+// ParseFormat returns the format named s ("ppm", "gif", "bmp"; case
+// matters only in that upper-case figure labels are accepted too) — the
+// inverse of Format.String, shared by the scenario specs and cmd tools.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "ppm", "PPM":
+		return PPM, nil
+	case "gif", "GIF":
+		return GIF, nil
+	case "bmp", "BMP":
+		return BMP, nil
+	}
+	return 0, fmt.Errorf("jpegsim: unknown format %q (have ppm|gif|bmp)", s)
+}
+
 func (f Format) String() string {
 	switch f {
 	case PPM:
@@ -85,18 +100,32 @@ func (s ImageSpec) String() string {
 	return fmt.Sprintf("%v/blocks=%d/busy=%d%%", s.Format, s.Blocks, s.Sparsity)
 }
 
+// Size is one position on the input-size axis: the paper's label and the
+// scaled block count this repository simulates for it.
+type Size struct {
+	Label  string
+	Blocks int
+}
+
 // SizeLabels maps the paper's input-size axis (Fig. 8/9) to block counts.
 // The paper decompresses 256k..2048k images; we scale each label to a
 // proportional number of blocks so a full sweep simulates quickly. The
 // size-insensitivity result depends only on proportionality.
-var SizeLabels = []struct {
-	Label  string
-	Blocks int
-}{
+var SizeLabels = []Size{
 	{"256k", 16},
 	{"512k", 32},
 	{"1024k", 64},
 	{"2048k", 128},
+}
+
+// SizeByLabel resolves one label of the input-size axis.
+func SizeByLabel(label string) (Size, bool) {
+	for _, s := range SizeLabels {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Size{}, false
 }
 
 // Coefficients deterministically generates the image content with an

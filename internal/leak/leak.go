@@ -67,6 +67,12 @@ const (
 	ChannelL2        Channel = "l2-state"
 )
 
+// AllChannels returns every observable channel, in report order.
+func AllChannels() []Channel {
+	return []Channel{ChannelTiming, ChannelPCTrace, ChannelMemTrace,
+		ChannelPredictor, ChannelIL1, ChannelDL1, ChannelL2}
+}
+
 // Report is the outcome of comparing two observations.
 type Report struct {
 	Leaking []Channel
@@ -130,6 +136,55 @@ func Distinguish(cfg pipeline.Config, build func(secret uint64) (*isa.Program, e
 		return Report{}, fmt.Errorf("leak: run secret=%d: %w", s2, err)
 	}
 	return Compare(o1, o2), nil
+}
+
+// DistinguishMany generalizes Distinguish to a whole family of secrets: it
+// observes the program built for every secret and reports the union of
+// channels on which any observation differs from the first. A channel
+// absent from the report is bit-identical across ALL secrets — the
+// indistinguishability property the leakmatrix scenario asserts per grid
+// point. Report.A is the first secret's observation and Report.B the first
+// observation that differed on any channel (or the last one when none did).
+func DistinguishMany(cfg pipeline.Config, build func(secret uint64) (*isa.Program, error), secrets []uint64) (Report, error) {
+	if len(secrets) < 2 {
+		return Report{}, fmt.Errorf("leak: need at least 2 secrets, have %d", len(secrets))
+	}
+	observe := func(s uint64) (Observation, error) {
+		p, err := build(s)
+		if err != nil {
+			return Observation{}, err
+		}
+		o, _, err := Observe(cfg, p)
+		if err != nil {
+			return Observation{}, fmt.Errorf("leak: run secret=%d: %w", s, err)
+		}
+		return o, nil
+	}
+	first, err := observe(secrets[0])
+	if err != nil {
+		return Report{}, err
+	}
+	leaking := map[Channel]bool{}
+	out := Report{A: first}
+	for _, s := range secrets[1:] {
+		o, err := observe(s)
+		if err != nil {
+			return Report{}, err
+		}
+		r := Compare(first, o)
+		// B tracks the first differing observation; until one differs it
+		// trails the latest, leaving B = last when nothing ever leaked.
+		if !out.Leaks() {
+			out.B = o
+		}
+		for _, ch := range r.Leaking {
+			if !leaking[ch] {
+				leaking[ch] = true
+				out.Leaking = append(out.Leaking, ch)
+			}
+		}
+	}
+	return out, nil
 }
 
 // FirstDivergence runs both programs with full commit-trace capture and

@@ -1,0 +1,321 @@
+// Package scenario is the declarative sweep engine behind every evaluation
+// in this repository. A Scenario names a sweep (a Sweep: axes plus a
+// per-point runner) and a renderer turning the sweep's typed rows into
+// stats.Tables; scenarios register themselves into a central registry that
+// cmd/sempe-bench and cmd/sempe-serve resolve by name.
+//
+// The engine — not the individual experiments — owns grid expansion
+// (row-major over the axes, so result order is deterministic), the bounded
+// worker pool fanning points across goroutines, per-point timing, progress
+// reporting, and sweep-row memoization. Several scenarios may share one
+// Sweep (Fig. 10a, Fig. 10b, and Table I are three renderings of the same
+// microbenchmark grid); a RowCache lets one invocation simulate that grid
+// once.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Spec parameterizes one run of a scenario. Quick selects the scenario's
+// reduced grid (seconds instead of minutes); Params carries
+// scenario-specific overrides as strings ("ws": "1,4,10"), the form they
+// arrive in from flags and HTTP requests; Workers bounds the worker pool
+// and never changes results, only wall time.
+type Spec struct {
+	Quick   bool              `json:"quick,omitempty"`
+	Workers int               `json:"workers,omitempty"`
+	Params  map[string]string `json:"params,omitempty"`
+}
+
+// Param returns the named parameter, or def when unset. An empty string is
+// a set value (e.g. an explicitly empty axis).
+func (s Spec) Param(key, def string) string {
+	if v, ok := s.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Key is the spec's canonical identity: quick plus the sorted params.
+// Workers is deliberately excluded — every grid point simulates on an
+// independent core, so results are bit-identical at any worker count, and
+// caches keyed by (scenario, spec) must hit across worker settings.
+func (s Spec) Key() string {
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "quick=%t", s.Quick)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ";%s=%s", k, s.Params[k])
+	}
+	return b.String()
+}
+
+// Axis is one sweep dimension: a name and the display value of each
+// position along it.
+type Axis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// Point is one cell of an expanded grid: its index in row-major order and
+// its coordinate along each axis.
+type Point struct {
+	Index  int
+	Coords []int
+}
+
+// Labels returns the point's axis values, for error messages and timing
+// reports.
+func (p Point) Labels(axes []Axis) []string {
+	out := make([]string, len(p.Coords))
+	for i, c := range p.Coords {
+		out[i] = axes[i].Values[c]
+	}
+	return out
+}
+
+// Expand enumerates the grid in row-major order (last axis fastest). Zero
+// axes expand to a single point with no coordinates — a scenario with no
+// sweep, like the Table II configuration echo. An axis with no values
+// expands to an empty grid.
+func Expand(axes []Axis) []Point {
+	n := 1
+	for _, a := range axes {
+		n *= len(a.Values)
+	}
+	if n == 0 {
+		return nil
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		coords := make([]int, len(axes))
+		rem := i
+		for d := len(axes) - 1; d >= 0; d-- {
+			coords[d] = rem % len(axes[d].Values)
+			rem /= len(axes[d].Values)
+		}
+		pts[i] = Point{Index: i, Coords: coords}
+	}
+	return pts
+}
+
+// Grid evaluates fn(i) for every i in [0, n), fanning the calls across a
+// bounded pool of worker goroutines. The caller writes results into a
+// pre-sized slice indexed by i, which keeps output order deterministic
+// regardless of scheduling; the returned error is the lowest-indexed
+// failure, so error reporting is deterministic too. workers <= 1 runs
+// serially.
+func Grid(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sweep is a named grid shared by one or more scenarios: the axes for a
+// given spec and the runner producing one typed row per grid point. Run
+// receives the point's coordinates into the Axes slices; it must be safe
+// for concurrent calls (every evaluation point constructs an independent
+// simulated core).
+type Sweep struct {
+	ID   string
+	Axes func(Spec) ([]Axis, error)
+	Run  func(Spec, Point) (any, error)
+}
+
+// Scenario is one registered evaluation: a sweep plus a renderer turning
+// the sweep's rows into tables.
+type Scenario struct {
+	Name        string
+	Description string
+	Sweep       *Sweep
+	Render      func(Spec, []any) []*stats.Table
+}
+
+// PointStat reports one grid point's wall time.
+type PointStat struct {
+	Labels []string `json:"labels,omitempty"`
+	Millis float64  `json:"millis"`
+}
+
+// Result is a completed scenario run: the spec it ran under, the expanded
+// axes, the rendered tables, and timing. Rows carries the sweep's typed
+// per-point rows for Go callers; it is not serialized (the tables are the
+// structured wire form).
+type Result struct {
+	Scenario      string         `json:"scenario"`
+	Spec          Spec           `json:"spec"`
+	Axes          []Axis         `json:"axes,omitempty"`
+	Points        int            `json:"points"`
+	Tables        []*stats.Table `json:"tables"`
+	ElapsedMillis float64        `json:"elapsed_ms,omitempty"`
+	Slowest       *PointStat     `json:"slowest_point,omitempty"`
+	Rows          []any          `json:"-"`
+}
+
+// RunOptions tunes one engine invocation. Progress, when set, is called
+// after every completed grid point with (done, total); it may be called
+// from multiple goroutines but never concurrently. Rows, when set,
+// memoizes sweep rows by (sweep, spec) so scenarios sharing a sweep — or
+// repeated runs of the same spec — simulate the grid once.
+type RunOptions struct {
+	Progress func(done, total int)
+	Rows     *RowCache
+}
+
+// Run executes the scenario's sweep under spec and renders its tables.
+func Run(sc *Scenario, spec Spec, opts RunOptions) (*Result, error) {
+	axes, err := sc.Sweep.Axes(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", sc.Name, err)
+	}
+	pts := Expand(axes)
+	start := time.Now()
+	rows, slowest, err := sweepRows(sc.Sweep, spec, axes, pts, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", sc.Name, err)
+	}
+	return &Result{
+		Scenario:      sc.Name,
+		Spec:          spec,
+		Axes:          axes,
+		Points:        len(pts),
+		Tables:        sc.Render(spec, rows),
+		ElapsedMillis: float64(time.Since(start)) / float64(time.Millisecond),
+		Slowest:       slowest,
+		Rows:          rows,
+	}, nil
+}
+
+// SweepRows runs just the sweep for spec and returns its rows in
+// deterministic row-major order — the entry point for typed wrappers
+// (experiments.Fig10, experiments.Fig8) that want rows without rendering.
+func SweepRows(sw *Sweep, spec Spec, opts RunOptions) ([]any, error) {
+	axes, err := sw.Axes(spec)
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := sweepRows(sw, spec, axes, Expand(axes), opts)
+	return rows, err
+}
+
+func sweepRows(sw *Sweep, spec Spec, axes []Axis, pts []Point, opts RunOptions) ([]any, *PointStat, error) {
+	if opts.Rows != nil {
+		rows, slowest, err := opts.Rows.rows(sw.ID+"|"+spec.Key(), func() ([]any, *PointStat, error) {
+			return runPoints(sw, spec, axes, pts, opts)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if opts.Progress != nil {
+			opts.Progress(len(pts), len(pts))
+		}
+		return rows, slowest, nil
+	}
+	return runPoints(sw, spec, axes, pts, opts)
+}
+
+func runPoints(sw *Sweep, spec Spec, axes []Axis, pts []Point, opts RunOptions) ([]any, *PointStat, error) {
+	rows := make([]any, len(pts))
+	millis := make([]float64, len(pts))
+	var mu sync.Mutex
+	done := 0
+	err := Grid(len(pts), spec.Workers, func(i int) error {
+		t0 := time.Now()
+		row, err := sw.Run(spec, pts[i])
+		millis[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("point %v: %w", pts[i].Labels(axes), err)
+		}
+		rows[i] = row
+		if opts.Progress != nil {
+			mu.Lock()
+			done++
+			opts.Progress(done, len(pts))
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var slowest *PointStat
+	for i, ms := range millis {
+		if slowest == nil || ms > slowest.Millis {
+			slowest = &PointStat{Labels: pts[i].Labels(axes), Millis: ms}
+		}
+	}
+	return rows, slowest, nil
+}
+
+// RowCache memoizes sweep rows (and the slowest-point timing from the
+// compute that ran them) by (sweep ID, spec key) with single-flight
+// semantics: concurrent requests for the same key run the sweep once and
+// share the result.
+type RowCache struct {
+	mu sync.Mutex
+	m  map[string]*rowEntry
+}
+
+type rowEntry struct {
+	once    sync.Once
+	rows    []any
+	slowest *PointStat
+	err     error
+}
+
+// NewRowCache returns an empty cache.
+func NewRowCache() *RowCache { return &RowCache{m: map[string]*rowEntry{}} }
+
+func (c *RowCache) rows(key string, compute func() ([]any, *PointStat, error)) ([]any, *PointStat, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &rowEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.rows, e.slowest, e.err = compute() })
+	return e.rows, e.slowest, e.err
+}

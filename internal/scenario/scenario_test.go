@@ -1,0 +1,215 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestExpandRowMajor(t *testing.T) {
+	axes := []Axis{
+		{Name: "a", Values: []string{"x", "y"}},
+		{Name: "b", Values: []string{"1", "2", "3"}},
+	}
+	pts := Expand(axes)
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6", len(pts))
+	}
+	want := [][]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	for i, p := range pts {
+		if p.Index != i || !reflect.DeepEqual(p.Coords, want[i]) {
+			t.Errorf("point %d = %+v, want coords %v", i, p, want[i])
+		}
+	}
+	if got := pts[4].Labels(axes); !reflect.DeepEqual(got, []string{"y", "2"}) {
+		t.Errorf("labels = %v", got)
+	}
+}
+
+func TestExpandDegenerate(t *testing.T) {
+	// No axes: a single point (a scenario without a sweep grid).
+	if pts := Expand(nil); len(pts) != 1 || len(pts[0].Coords) != 0 {
+		t.Errorf("no axes: %+v", pts)
+	}
+	// An empty axis: an empty grid.
+	if pts := Expand([]Axis{{Name: "a"}}); pts != nil {
+		t.Errorf("empty axis: %+v", pts)
+	}
+}
+
+// TestGridErrorDeterministic: the reported error is the lowest-indexed one
+// regardless of worker interleaving.
+func TestGridErrorDeterministic(t *testing.T) {
+	failAt := map[int]bool{3: true, 7: true}
+	for _, workers := range []int{1, 4} {
+		err := Grid(10, workers, func(i int) error {
+			if failAt[i] {
+				return fmt.Errorf("point %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "point 3 failed" {
+			t.Errorf("workers=%d: error = %v, want point 3", workers, err)
+		}
+	}
+}
+
+// testSweep squares the grid index; rows land in deterministic order at
+// any worker count.
+func testSweep(calls *atomic.Int64) *Sweep {
+	return &Sweep{
+		ID: "square",
+		Axes: func(spec Spec) ([]Axis, error) {
+			n := 4
+			if spec.Quick {
+				n = 2
+			}
+			vals := make([]string, n)
+			for i := range vals {
+				vals[i] = fmt.Sprintf("%d", i)
+			}
+			return []Axis{{Name: "i", Values: vals}}, nil
+		},
+		Run: func(spec Spec, p Point) (any, error) {
+			if calls != nil {
+				calls.Add(1)
+			}
+			return p.Coords[0] * p.Coords[0], nil
+		},
+	}
+}
+
+func testScenario(calls *atomic.Int64) *Scenario {
+	return &Scenario{
+		Name:        "square",
+		Description: "squares the axis",
+		Sweep:       testSweep(calls),
+		Render: func(spec Spec, rows []any) []*stats.Table {
+			tb := &stats.Table{Title: "squares", Header: []string{"i", "i^2"}}
+			for i, r := range rows {
+				tb.AddRow(fmt.Sprintf("%d", i), stats.Int(uint64(r.(int))))
+			}
+			return []*stats.Table{tb}
+		},
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	sc := testScenario(nil)
+	serial, err := Run(sc, Spec{Workers: 1}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(sc, Spec{Workers: 4}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Rows, par.Rows) || !reflect.DeepEqual(serial.Tables, par.Tables) {
+		t.Errorf("parallel differs from serial:\n%+v\n%+v", serial.Rows, par.Rows)
+	}
+	if serial.Points != 4 || len(serial.Axes) != 1 {
+		t.Errorf("result shape: %+v", serial)
+	}
+}
+
+func TestRunProgressAndTiming(t *testing.T) {
+	sc := testScenario(nil)
+	var last, total int
+	res, err := Run(sc, Spec{}, RunOptions{Progress: func(d, n int) { last, total = d, n }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 4 || total != 4 {
+		t.Errorf("progress ended at %d/%d, want 4/4", last, total)
+	}
+	if res.Slowest == nil || len(res.Slowest.Labels) != 1 {
+		t.Errorf("slowest point missing: %+v", res.Slowest)
+	}
+}
+
+// TestRowCacheSharesSweep: two scenarios over the same sweep (and repeated
+// runs of the same spec) simulate the grid once.
+func TestRowCacheSharesSweep(t *testing.T) {
+	var calls atomic.Int64
+	sc := testScenario(&calls)
+	cache := NewRowCache()
+	for i := 0; i < 3; i++ {
+		res, err := Run(sc, Spec{Workers: 2}, RunOptions{Rows: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The per-point timing from the compute that ran the grid is
+		// preserved through the cache.
+		if res.Slowest == nil {
+			t.Errorf("run %d: Slowest missing with RowCache", i)
+		}
+	}
+	if calls.Load() != 4 {
+		t.Errorf("sweep points ran %d times, want 4 (one grid)", calls.Load())
+	}
+	// A different spec key misses the cache.
+	if _, err := Run(sc, Spec{Quick: true}, RunOptions{Rows: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 6 {
+		t.Errorf("quick grid did not run: %d calls", calls.Load())
+	}
+}
+
+func TestRunWrapsPointErrors(t *testing.T) {
+	boom := errors.New("boom")
+	sc := testScenario(nil)
+	sc.Sweep = &Sweep{
+		ID:   "fail",
+		Axes: sc.Sweep.Axes,
+		Run: func(Spec, Point) (any, error) {
+			return nil, boom
+		},
+	}
+	_, err := Run(sc, Spec{}, RunOptions{})
+	if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), "square") {
+		t.Errorf("err = %v, want wrapped boom naming the scenario", err)
+	}
+}
+
+func TestSpecKey(t *testing.T) {
+	a := Spec{Workers: 1, Params: map[string]string{"b": "2", "a": "1"}}
+	b := Spec{Workers: 8, Params: map[string]string{"a": "1", "b": "2"}}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ across worker counts / map order: %q vs %q", a.Key(), b.Key())
+	}
+	c := Spec{Quick: true, Params: map[string]string{"a": "1", "b": "2"}}
+	if a.Key() == c.Key() {
+		t.Errorf("quick not part of the key: %q", c.Key())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	sc := testScenario(nil)
+	sc.Name = "registry-test-scenario"
+	Register(sc)
+	got, ok := Lookup(sc.Name)
+	if !ok || got != sc {
+		t.Fatalf("Lookup(%q) = %v, %t", sc.Name, got, ok)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == sc.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() missing %q: %v", sc.Name, Names())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(sc)
+}

@@ -1,0 +1,369 @@
+// Package serve implements the sempe-serve evaluation service: the
+// scenario registry over HTTP. It exposes the registered scenarios, runs
+// parameterized sweeps with bounded concurrency, reports per-run progress,
+// and memoizes completed results in an LRU cache keyed by (scenario, spec)
+// so repeated queries never re-simulate.
+//
+//	GET  /scenarios   -> registered scenarios with their axes
+//	POST /runs        -> start (or instantly answer from cache) a run
+//	GET  /runs        -> all runs, newest first
+//	GET  /runs/{id}   -> one run: status, progress, and result when done
+//	GET  /healthz     -> liveness
+//
+// POST /runs accepts {"scenario": "fig10a", "spec": {"quick": true,
+// "workers": 4, "params": {"kinds": "fibonacci"}}, "wait": true}; with
+// "wait" the response carries the finished run, otherwise 202 Accepted
+// returns immediately and the run is polled via its id.
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// Options tunes the server.
+type Options struct {
+	// MaxWorkers caps a run's requested worker pool; 0 means NumCPU.
+	MaxWorkers int
+	// MaxConcurrentRuns bounds how many sweeps simulate at once; further
+	// runs queue. 0 means 2.
+	MaxConcurrentRuns int
+	// CacheEntries is the LRU result-cache capacity; 0 means 64.
+	CacheEntries int
+	// MaxTrackedRuns bounds the run records (and their pinned results)
+	// kept for GET /runs; the oldest finished runs are dropped beyond it.
+	// 0 means 256.
+	MaxTrackedRuns int
+}
+
+// Server is the evaluation service. Create with New, mount via Handler.
+type Server struct {
+	opts Options
+	sem  chan struct{}
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	order  []string // creation order, for GET /runs
+	nextID int
+	cache  *lruCache
+	rows   *scenario.RowCache
+
+	// computes counts engine executions (cache misses); the serve tests
+	// assert a repeated spec does not increment it.
+	computes int
+}
+
+// run is one tracked sweep execution.
+type run struct {
+	id       string
+	scenario string
+	spec     scenario.Spec
+	status   string // "queued" | "running" | "done" | "error"
+	cached   bool
+	done     int
+	total    int
+	errMsg   string
+	result   *scenario.Result
+	finished chan struct{}
+}
+
+// New builds a server.
+func New(opts Options) *Server {
+	if opts.MaxWorkers <= 0 {
+		opts.MaxWorkers = runtime.NumCPU()
+	}
+	if opts.MaxConcurrentRuns <= 0 {
+		opts.MaxConcurrentRuns = 2
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 64
+	}
+	if opts.MaxTrackedRuns <= 0 {
+		opts.MaxTrackedRuns = 256
+	}
+	return &Server{
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxConcurrentRuns),
+		runs:  map[string]*run{},
+		cache: newLRU(opts.CacheEntries),
+		rows:  scenario.NewRowCache(),
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /runs", s.handleCreateRun)
+	mux.HandleFunc("GET /runs", s.handleListRuns)
+	mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// scenarioInfo is one GET /scenarios entry.
+type scenarioInfo struct {
+	Name        string          `json:"name"`
+	Description string          `json:"description"`
+	Axes        []scenario.Axis `json:"axes,omitempty"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	var out []scenarioInfo
+	for _, sc := range scenario.Scenarios() {
+		info := scenarioInfo{Name: sc.Name, Description: sc.Description}
+		// Default-spec axes; scenarios whose axes depend on params still
+		// list their default grid.
+		if axes, err := sc.Sweep.Axes(scenario.Spec{}); err == nil {
+			info.Axes = axes
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// createRequest is the POST /runs body.
+type createRequest struct {
+	Scenario string        `json:"scenario"`
+	Spec     scenario.Spec `json:"spec"`
+	Wait     bool          `json:"wait,omitempty"`
+}
+
+// runView is the wire form of a run.
+type runView struct {
+	ID       string           `json:"id"`
+	Scenario string           `json:"scenario"`
+	Spec     scenario.Spec    `json:"spec"`
+	Status   string           `json:"status"`
+	Cached   bool             `json:"cached"`
+	Progress progressView     `json:"progress"`
+	Error    string           `json:"error,omitempty"`
+	Result   *scenario.Result `json:"result,omitempty"`
+}
+
+type progressView struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sc, ok := scenario.Lookup(req.Scenario)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown scenario %q; registered: %v", req.Scenario, scenario.Names())
+		return
+	}
+	if req.Spec.Workers <= 0 || req.Spec.Workers > s.opts.MaxWorkers {
+		req.Spec.Workers = s.opts.MaxWorkers
+	}
+	// Validate the spec before tracking a run: a bad parameter is the
+	// caller's error, not a failed run.
+	if _, err := sc.Sweep.Axes(req.Spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+
+	key := cacheKey(sc.Name, req.Spec)
+	s.mu.Lock()
+	s.nextID++
+	rn := &run{
+		id:       fmt.Sprintf("run-%d", s.nextID),
+		scenario: sc.Name,
+		spec:     req.Spec,
+		finished: make(chan struct{}),
+	}
+	s.runs[rn.id] = rn
+	s.order = append(s.order, rn.id)
+	s.pruneRuns()
+	if res, hit := s.cache.get(key); hit {
+		rn.status = "done"
+		rn.cached = true
+		rn.result = res
+		rn.done, rn.total = res.Points, res.Points
+		close(rn.finished)
+		view := rn.view()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	rn.status = "queued"
+	s.mu.Unlock()
+
+	go s.execute(sc, rn, key)
+
+	if req.Wait {
+		<-rn.finished
+	}
+	s.mu.Lock()
+	view := rn.view()
+	s.mu.Unlock()
+	status := http.StatusAccepted
+	if view.Status == "done" || view.Status == "error" {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Server) execute(sc *scenario.Scenario, rn *run, key string) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	s.mu.Lock()
+	rn.status = "running"
+	s.computes++
+	s.mu.Unlock()
+
+	res, err := scenario.Run(sc, rn.spec, scenario.RunOptions{
+		Rows: s.rows,
+		Progress: func(done, total int) {
+			s.mu.Lock()
+			rn.done, rn.total = done, total
+			s.mu.Unlock()
+		},
+	})
+
+	s.mu.Lock()
+	if err != nil {
+		rn.status = "error"
+		rn.errMsg = err.Error()
+	} else {
+		rn.status = "done"
+		rn.result = res
+		rn.done, rn.total = res.Points, res.Points
+		s.cache.put(key, res)
+	}
+	close(rn.finished)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rn, ok := s.runs[r.PathValue("id")]
+	var view runView
+	if ok {
+		view = rn.view()
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// pruneRuns drops the oldest finished run records beyond MaxTrackedRuns
+// so a long-lived server's memory stays bounded (queued and running runs
+// are never dropped). The caller holds s.mu.
+func (s *Server) pruneRuns() {
+	excess := len(s.order) - s.opts.MaxTrackedRuns
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		rn := s.runs[id]
+		if excess > 0 && (rn.status == "done" || rn.status == "error") {
+			delete(s.runs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	// s.order is creation order; report newest first.
+	views := make([]runView, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		v := s.runs[s.order[i]].view()
+		v.Result = nil // list view stays small; fetch a run by id for the tables
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, views)
+}
+
+// view snapshots the run; the caller holds s.mu.
+func (rn *run) view() runView {
+	return runView{
+		ID:       rn.id,
+		Scenario: rn.scenario,
+		Spec:     rn.spec,
+		Status:   rn.status,
+		Cached:   rn.cached,
+		Progress: progressView{Done: rn.done, Total: rn.total},
+		Error:    rn.errMsg,
+		Result:   rn.result,
+	}
+}
+
+func cacheKey(name string, spec scenario.Spec) string {
+	return name + "|" + spec.Key()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// lruCache is a small LRU of completed results keyed by (scenario, spec).
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recent; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *scenario.Result
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached result and marks it most recently used. Callers
+// hold the server mutex.
+func (c *lruCache) get(key string) (*scenario.Result, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lruCache) put(key string, res *scenario.Result) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	_ "repro/internal/experiments" // registers the paper's scenarios
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Options{MaxWorkers: 2, MaxConcurrentRuns: 2, CacheEntries: 8})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) (runView, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view runView
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return view, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestScenariosEndpoint: the registry is visible over HTTP, axes included.
+func TestScenariosEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var infos []scenarioInfo
+	if code := getJSON(t, ts.URL+"/scenarios", &infos); code != http.StatusOK {
+		t.Fatalf("GET /scenarios = %d", code)
+	}
+	byName := map[string]scenarioInfo{}
+	for _, in := range infos {
+		byName[in.Name] = in
+	}
+	for _, want := range []string{"fig8", "fig9", "fig10a", "fig10b", "table1", "table2", "leakmatrix"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("scenario %q missing from listing", want)
+		}
+	}
+	if axes := byName["fig10a"].Axes; len(axes) != 2 || axes[0].Name != "workload" {
+		t.Errorf("fig10a axes = %+v", axes)
+	}
+}
+
+// TestFig10QuickSweepOverHTTPWithCache is the acceptance path: the Fig. 10
+// quick sweep comes back as structured JSON over HTTP, and a second
+// identical request is served from the LRU cache without re-simulating.
+func TestFig10QuickSweepOverHTTPWithCache(t *testing.T) {
+	srv, ts := newTestServer(t)
+	body := `{"scenario": "fig10a", "spec": {"quick": true}, "wait": true}`
+
+	first, code := postRun(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("POST /runs = %d", code)
+	}
+	if first.Status != "done" || first.Cached {
+		t.Fatalf("first run: status=%s cached=%t", first.Status, first.Cached)
+	}
+	if first.Result == nil || len(first.Result.Tables) != 1 {
+		t.Fatal("first run carries no result tables")
+	}
+	tb := first.Result.Tables[0]
+	// The quick sweep: 4 kernels x W in {1,4,10}, typed ratio cells.
+	if len(tb.Rows) != 12 {
+		t.Errorf("quick sweep has %d rows, want 12", len(tb.Rows))
+	}
+	if c := tb.Rows[0][2]; c.Kind != stats.KindRatio || c.Num <= 1.0 {
+		t.Errorf("SeMPE slowdown cell = %+v, want a ratio > 1", c)
+	}
+	if first.Progress.Done != 12 || first.Progress.Total != 12 {
+		t.Errorf("progress = %+v, want 12/12", first.Progress)
+	}
+
+	second, code := postRun(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("second POST /runs = %d", code)
+	}
+	if second.Status != "done" || !second.Cached {
+		t.Fatalf("second run: status=%s cached=%t, want done from cache", second.Status, second.Cached)
+	}
+	if !reflect.DeepEqual(first.Result.Tables, second.Result.Tables) {
+		t.Error("cached result differs from the computed one")
+	}
+	srv.mu.Lock()
+	computes := srv.computes
+	srv.mu.Unlock()
+	if computes != 1 {
+		t.Errorf("engine ran %d times, want 1 (second request must hit the cache)", computes)
+	}
+
+	// A different spec misses the cache (workers alone must NOT).
+	third, _ := postRun(t, ts, `{"scenario": "fig10a", "spec": {"quick": true, "workers": 1}, "wait": true}`)
+	if !third.Cached {
+		t.Error("worker count changed the cache key; results are worker-independent")
+	}
+	fourth, _ := postRun(t, ts, `{"scenario": "fig10a", "spec": {"quick": true, "params": {"kinds": "fibonacci"}}, "wait": true}`)
+	if fourth.Cached {
+		t.Error("different params served from cache")
+	}
+}
+
+// TestAsyncRunWithProgress: without "wait" the POST returns 202 and the
+// run is polled to completion via GET /runs/{id}.
+func TestAsyncRunWithProgress(t *testing.T) {
+	_, ts := newTestServer(t)
+	view, code := postRun(t, ts,
+		`{"scenario": "fig10b", "spec": {"params": {"kinds": "fibonacci", "ws": "1", "iters": "1"}}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /runs = %d, want 202", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var got runView
+	for {
+		if getJSON(t, ts.URL+"/runs/"+view.ID, &got) != http.StatusOK {
+			t.Fatalf("GET /runs/%s failed", view.ID)
+		}
+		if got.Status == "done" || got.Status == "error" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s stuck in %q", view.ID, got.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got.Status != "done" || got.Result == nil {
+		t.Fatalf("run ended %q (error %q)", got.Status, got.Error)
+	}
+	if got.Progress.Done != got.Progress.Total || got.Progress.Total != 1 {
+		t.Errorf("progress = %+v", got.Progress)
+	}
+
+	var listing []runView
+	if getJSON(t, ts.URL+"/runs", &listing) != http.StatusOK || len(listing) == 0 {
+		t.Fatal("GET /runs empty")
+	}
+	if listing[0].Result != nil {
+		t.Error("list view should omit results")
+	}
+}
+
+// TestRequestValidation: unknown scenarios, bad specs, and unknown run ids
+// are client errors, not runs.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	if _, code := postRun(t, ts, `{"scenario": "nope"}`); code != http.StatusNotFound {
+		t.Errorf("unknown scenario = %d, want 404", code)
+	}
+	if _, code := postRun(t, ts, `{"scenario": "fig10a", "spec": {"params": {"ws": "ten"}}}`); code != http.StatusBadRequest {
+		t.Errorf("bad param = %d, want 400", code)
+	}
+	if _, code := postRun(t, ts, `not json`); code != http.StatusBadRequest {
+		t.Errorf("bad body = %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/runs/run-999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown run = %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz = %d", code)
+	}
+}
+
+// TestRunPruningAndOrdering: GET /runs reports newest first, and run
+// records beyond MaxTrackedRuns are pruned oldest-finished-first so a
+// long-lived server stays bounded.
+func TestRunPruningAndOrdering(t *testing.T) {
+	srv := New(Options{MaxWorkers: 1, MaxTrackedRuns: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for i := 0; i < 3; i++ {
+		if _, code := postRun(t, ts, `{"scenario": "table2", "spec": {}, "wait": true}`); code != http.StatusOK {
+			t.Fatalf("POST %d = %d", i, code)
+		}
+	}
+	var listing []runView
+	if getJSON(t, ts.URL+"/runs", &listing) != http.StatusOK {
+		t.Fatal("GET /runs failed")
+	}
+	if len(listing) != 2 || listing[0].ID != "run-3" || listing[1].ID != "run-2" {
+		ids := make([]string, len(listing))
+		for i, v := range listing {
+			ids[i] = v.ID
+		}
+		t.Errorf("listing = %v, want [run-3 run-2]", ids)
+	}
+	if code := getJSON(t, ts.URL+"/runs/run-1", nil); code != http.StatusNotFound {
+		t.Errorf("pruned run = %d, want 404", code)
+	}
+}
+
+// TestLRUEviction: the result cache holds CacheEntries completed runs and
+// evicts the least recently used.
+func TestLRUEviction(t *testing.T) {
+	lru := newLRU(2)
+	mk := func(name string) *scenario.Result { return &scenario.Result{Scenario: name} }
+	lru.put("a", mk("a"))
+	lru.put("b", mk("b"))
+	if _, ok := lru.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	lru.put("c", mk("c"))
+	if _, ok := lru.get("b"); ok {
+		t.Error("b survived eviction; want LRU out")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := lru.get(k); !ok {
+			t.Errorf("%s evicted wrongly", k)
+		}
+	}
+}
+
+// TestServeSmallSweepMatchesDirectRun: the HTTP path returns exactly what
+// the engine computes locally.
+func TestServeSmallSweepMatchesDirectRun(t *testing.T) {
+	_, ts := newTestServer(t)
+	spec := scenario.Spec{Params: map[string]string{"kinds": "ones", "ws": "2", "iters": "1"}}
+	sc, _ := scenario.Lookup("fig10a")
+	direct, err := scenario.Run(sc, spec, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{"scenario": "fig10a", "spec": spec, "wait": true})
+	view, code := postRun(t, ts, string(body))
+	if code != http.StatusOK || view.Result == nil {
+		t.Fatalf("POST = %d, result %v", code, view.Result)
+	}
+	if !reflect.DeepEqual(direct.Tables, view.Result.Tables) {
+		t.Errorf("HTTP result differs from direct engine run:\ndirect: %+v\nhttp:   %+v",
+			direct.Tables, view.Result.Tables)
+	}
+}

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -10,8 +12,8 @@ func TestTableRender(t *testing.T) {
 		Title:  "demo",
 		Header: []string{"name", "value"},
 	}
-	tb.AddRow("alpha", "1")
-	tb.AddRow("beta-long-name", "22222")
+	tb.AddRow("alpha", Int(1))
+	tb.AddRow("beta-long-name", Int(22222))
 	tb.AddNote("a %s note", "formatted")
 	var sb strings.Builder
 	tb.Render(&sb)
@@ -31,16 +33,78 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestFormatters(t *testing.T) {
-	if Ratio(10.625) != "10.62x" && Ratio(10.625) != "10.63x" {
-		t.Errorf("Ratio = %q", Ratio(10.625))
+	if got := Ratio(10.625).String(); got != "10.62x" && got != "10.63x" {
+		t.Errorf("Ratio = %q", got)
 	}
-	if Percent(0.421) != "42.1%" {
-		t.Errorf("Percent = %q", Percent(0.421))
+	if got := Percent(0.421).String(); got != "42.1%" {
+		t.Errorf("Percent = %q", got)
 	}
-	if Float(3.14159, 3) != "3.142" {
-		t.Errorf("Float = %q", Float(3.14159, 3))
+	if got := Float(3.14159, 3).String(); got != "3.142" {
+		t.Errorf("Float = %q", got)
 	}
-	if Int(99) != "99" {
-		t.Errorf("Int = %q", Int(99))
+	if got := Int(99).String(); got != "99" {
+		t.Errorf("Int = %q", got)
 	}
+	if got := Str("plain").String(); got != "plain" {
+		t.Errorf("Str = %q", got)
+	}
+}
+
+// TestJSONRoundTrip: a table survives JSON encoding bit-exactly — the
+// property the golden-file tests and sempe-serve rely on.
+func TestJSONRoundTrip(t *testing.T) {
+	tb := &Table{
+		Title:  "round trip",
+		Header: []string{"workload", "cycles", "slowdown", "miss", "cpi"},
+	}
+	tb.AddRow("fibonacci", Int(123456789), Ratio(1.9), Percent(0.042), Float(0.731, 3))
+	tb.AddRow("queens", Int(0), Ratio(10.6), Percent(0), Float(1.25, 2))
+	tb.AddNote("note line")
+
+	var sb strings.Builder
+	if err := tb.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tb, &back) {
+		t.Errorf("round trip mismatch:\nin:  %+v\nout: %+v", tb, &back)
+	}
+}
+
+// TestCSV: CSV carries machine values (raw fractions and multipliers), not
+// display strings.
+func TestCSV(t *testing.T) {
+	tb := &Table{
+		Title:  "csv demo",
+		Header: []string{"name", "ratio", "pct"},
+	}
+	tb.AddRow("a,b", Ratio(1.9), Percent(0.421))
+	tb.AddNote("footnote")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# csv demo\n",
+		"name,ratio,pct\n",
+		"\"a,b\",1.9,0.421\n", // quoting + raw values
+		"# note: footnote\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAddRowRejectsUnknownTypes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddRow accepted an int; want panic")
+		}
+	}()
+	(&Table{}).AddRow(42)
 }

@@ -33,6 +33,18 @@ const (
 // All returns every kernel, in the paper's order.
 func All() []Kind { return []Kind{Fibonacci, Ones, Quicksort, Queens} }
 
+// Parse returns the kernel named s ("fibonacci", "ones", "quicksort",
+// "queens") — the inverse of Kind.String, shared by the scenario specs and
+// the cmd tools.
+func Parse(s string) (Kind, error) {
+	for _, k := range All() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workloads: unknown kernel %q (have fibonacci|ones|quicksort|queens)", s)
+}
+
 func (k Kind) String() string {
 	switch k {
 	case Fibonacci:
