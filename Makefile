@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke sweep serve clean
+.PHONY: check vet build test race bench bench-smoke sweep serve smoke-cluster clean
 
 # check is the tier-1 gate plus a benchmark smoke run.
 check: vet build test bench-smoke
@@ -37,6 +37,12 @@ sweep:
 # serve starts the HTTP evaluation service on :8080.
 serve:
 	$(GO) run ./cmd/sempe-serve
+
+# smoke-cluster boots two local workers, shards a quick fig10a sweep
+# across them, and diffs the merged JSON against a serial run (then
+# re-runs warm from the on-disk store). CI runs this too.
+smoke-cluster:
+	./scripts/cluster_smoke.sh
 
 clean:
 	$(GO) clean ./...

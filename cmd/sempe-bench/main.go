@@ -41,27 +41,14 @@ import (
 	"repro/internal/scenario"
 )
 
-// paramFlag collects repeated -param key=value flags.
-type paramFlag map[string]string
-
-func (p paramFlag) String() string { return fmt.Sprintf("%v", map[string]string(p)) }
-
-func (p paramFlag) Set(s string) error {
-	k, v, found := strings.Cut(s, "=")
-	if !found || k == "" {
-		return fmt.Errorf("want key=value, got %q", s)
-	}
-	p[k] = v
-	return nil
-}
-
 func main() {
-	params := paramFlag{}
+	params := scenario.ParamFlag{}
 	var (
 		exp        = flag.String("exp", "all", "scenario name(s), comma separated, or \"all\" (see -list)")
 		list       = flag.Bool("list", false, "list registered scenarios and exit")
 		format     = flag.String("format", "text", "output encoding: text|json|csv")
 		quick      = flag.Bool("quick", false, "reduced sweeps (seconds, not minutes)")
+		stable     = flag.Bool("stable", false, "zero timing and worker-count fields so identical specs diff byte-for-byte (json)")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the sweeps (1 = serial)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
@@ -121,6 +108,9 @@ func main() {
 		res, err := scenario.Run(sc, spec, scenario.RunOptions{Rows: rows})
 		if err != nil {
 			fatal("%v", err)
+		}
+		if *stable {
+			res = res.Stable()
 		}
 		results = append(results, res)
 	}

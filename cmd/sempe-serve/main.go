@@ -1,45 +1,96 @@
 // Command sempe-serve exposes the scenario registry as an HTTP evaluation
 // service: list scenarios, start parameterized sweeps with bounded
-// concurrency, poll progress, and fetch structured results. Completed
-// results are cached in-memory (LRU, keyed by scenario + spec), so
-// repeated queries are served without re-simulating.
+// concurrency, poll progress, cancel in-flight runs, and fetch structured
+// results. Completed results are cached in-memory (LRU, keyed by
+// scenario + spec); with -store they are also persisted on disk, so a
+// restarted server answers warm and a directory can be shared with the
+// sempe-sweep cluster coordinator.
 //
-//	sempe-serve -addr :8080
+//	sempe-serve -addr :8080 -store results/
+//	sempe-serve -addr :8081 -worker        # cluster worker (POST /shards)
 //
 //	curl localhost:8080/scenarios
 //	curl -X POST localhost:8080/runs -d '{"scenario":"fig10a","spec":{"quick":true},"wait":true}'
 //	curl -X POST localhost:8080/runs -d '{"scenario":"leakmatrix"}'   # 202 + poll
 //	curl localhost:8080/runs/run-2
+//	curl -X POST localhost:8080/runs/run-2/cancel
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes, and
+// in-flight HTTP requests get -shutdown-grace to finish before the process
+// exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	_ "repro/internal/experiments" // registers the paper's scenarios
 	"repro/internal/scenario"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("max-workers", 0, "cap on per-run worker goroutines (0 = all CPUs)")
-		runs    = flag.Int("max-runs", 2, "sweeps simulating concurrently; further runs queue")
-		entries = flag.Int("cache", 64, "LRU result-cache capacity (completed runs)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("max-workers", 0, "cap on per-run worker goroutines (0 = all CPUs)")
+		runs     = flag.Int("max-runs", 2, "sweeps simulating concurrently; further runs queue")
+		entries  = flag.Int("cache", 64, "LRU result-cache capacity (completed runs)")
+		storeDir = flag.String("store", "", "persistent result-store directory (empty = in-memory cache only)")
+		worker   = flag.Bool("worker", false, "enable the cluster shard endpoint (POST /shards) for sempe-sweep")
+		grace    = flag.Duration("shutdown-grace", 15*time.Second, "how long in-flight requests get to finish on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		MaxWorkers:        *workers,
 		MaxConcurrentRuns: *runs,
 		CacheEntries:      *entries,
-	})
-	log.Printf("sempe-serve: listening on %s (%d scenarios registered)", *addr, len(scenario.Names()))
+		Worker:            *worker,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("sempe-serve: %v", err)
+		}
+		opts.Store = st
+		log.Printf("sempe-serve: result store at %s (code version %s)", st.Dir(), store.CodeVersion)
+	}
+	srv := serve.New(opts)
+
+	mode := "server"
+	if *worker {
+		mode = "server+worker"
+	}
+	log.Printf("sempe-serve: %s listening on %s (%d scenarios registered)", mode, *addr, len(scenario.Names()))
 	for _, name := range scenario.Names() {
 		fmt.Printf("  %s\n", name)
 	}
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		stop() // a second signal kills immediately via the default handler
+		log.Printf("sempe-serve: shutting down (grace %v)", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		done <- hs.Shutdown(sctx)
+	}()
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("sempe-serve: %v", err)
+	}
+	if err := <-done; err != nil {
+		log.Fatalf("sempe-serve: shutdown: %v", err)
+	}
+	log.Printf("sempe-serve: stopped")
 }

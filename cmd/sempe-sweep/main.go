@@ -1,0 +1,132 @@
+// Command sempe-sweep runs one scenario through the cluster coordinator:
+// it shards the expanded grid across a fleet of sempe-serve -worker
+// processes, merges the rows back in deterministic grid order, and prints
+// the same tables a local sempe-bench run would — byte-identical in
+// -format json, which is diffed in CI against the serial run.
+//
+//	sempe-sweep -scenario fig10a -quick \
+//	    -workers http://host-a:8080,http://host-b:8080 -store results/
+//
+// With -workers empty the sweep computes in-process, still reading and
+// writing the store — useful to pre-warm or verify a result directory
+// without a fleet. Points already present in -store are never
+// re-simulated; the provenance report on stderr says how many were served
+// from disk and how many shards were dispatched (and retried, when a
+// worker died mid-sweep).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	_ "repro/internal/experiments" // registers the paper's scenarios
+	"repro/internal/scenario"
+	"repro/internal/store"
+)
+
+func main() {
+	params := scenario.ParamFlag{}
+	var (
+		name      = flag.String("scenario", "", "scenario to sweep (see sempe-bench -list)")
+		workersF  = flag.String("workers", "", "comma-separated worker base URLs (empty = compute in-process)")
+		storeDir  = flag.String("store", "", "persistent result-store directory (points found there are not re-simulated)")
+		shardSize = flag.Int("shard", 8, "grid points per dispatched shard")
+		attempts  = flag.Int("attempts", 3, "dispatch attempts per shard before the sweep fails")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "per-shard request timeout")
+		quick     = flag.Bool("quick", false, "reduced sweep (seconds, not minutes)")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "per-worker point parallelism")
+		format    = flag.String("format", "json", "output encoding: text|json|csv")
+	)
+	flag.Var(params, "param", "scenario parameter key=value (repeatable)")
+	flag.Parse()
+
+	if *name == "" {
+		fatal("-scenario is required; registered: %s", strings.Join(scenario.Names(), ", "))
+	}
+	sc, ok := scenario.Lookup(*name)
+	if !ok {
+		fatal("unknown scenario %q; registered: %s", *name, strings.Join(scenario.Names(), ", "))
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fatal("unknown format %q (want text, json, or csv)", *format)
+	}
+
+	opts := cluster.Options{
+		ShardSize:   *shardSize,
+		MaxAttempts: *attempts,
+		Timeout:     *timeout,
+	}
+	for _, u := range strings.Split(*workersF, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			opts.Workers = append(opts.Workers, u)
+		}
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal("%v", err)
+		}
+		opts.Store = st
+	}
+
+	spec := scenario.Spec{Quick: *quick, Workers: *parallel, Params: params}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	where := "in-process"
+	if n := len(opts.Workers); n > 0 {
+		where = fmt.Sprintf("%d workers", n)
+	}
+	fmt.Fprintf(os.Stderr, "sweeping %s across %s (shard size %d)...\n", sc.Name, where, *shardSize)
+	start := time.Now()
+	res, rep, err := cluster.New(opts).Run(ctx, sc, spec)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	// Stable output: two sweeps of the same spec — or a sweep and a serial
+	// `sempe-bench -stable` run — encode byte-identically.
+	stable := res.Stable()
+	switch *format {
+	case "text":
+		for _, t := range stable.Tables {
+			t.Render(os.Stdout)
+		}
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stable); err != nil {
+			fatal("json: %v", err)
+		}
+	case "csv":
+		for _, t := range stable.Tables {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fatal("csv: %v", err)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "done in %v: %d points, %d from store, %d shards in %d dispatches, %d retries\n",
+		time.Since(start).Round(time.Millisecond),
+		rep.Points, rep.StorePoints, rep.Shards, rep.Dispatched, rep.Retries)
+	for _, w := range rep.DroppedWorkers {
+		fmt.Fprintf(os.Stderr, "dropped worker: %s\n", w)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sempe-sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

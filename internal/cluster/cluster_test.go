@@ -1,0 +1,289 @@
+// External test package: the tests boot real workers through internal/serve
+// (which imports cluster for the shard protocol), so an internal test
+// package would cycle.
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cluster"
+	_ "repro/internal/experiments" // registers the paper's scenarios
+	"repro/internal/scenario"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// startWorker boots one in-process worker (sempe-serve -worker).
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := serve.New(serve.Options{MaxWorkers: 2, MaxConcurrentRuns: 2, Worker: true})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func lookup(t *testing.T, name string) *scenario.Scenario {
+	t.Helper()
+	sc, ok := scenario.Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	return sc
+}
+
+// smallSpec is a fast fig10 grid: 2 kernels x 2 depths = 4 points.
+func smallSpec() scenario.Spec {
+	return scenario.Spec{Params: map[string]string{"kinds": "fibonacci,ones", "ws": "1,2", "iters": "2"}}
+}
+
+func stableJSON(t *testing.T, res *scenario.Result) string {
+	t.Helper()
+	out, err := json.MarshalIndent(res.Stable(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestDistributedMatchesSerial is the tentpole acceptance check: a sweep
+// sharded across two workers (shard size 1, so every point crosses the
+// wire) renders byte-identical stable JSON to a serial engine run.
+func TestDistributedMatchesSerial(t *testing.T) {
+	sc := lookup(t, "fig10a")
+	spec := smallSpec()
+
+	serialSpec := spec
+	serialSpec.Workers = 1
+	serial, err := scenario.Run(sc, serialSpec, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := cluster.New(cluster.Options{
+		Workers:   []string{startWorker(t).URL, startWorker(t).URL},
+		ShardSize: 1,
+	})
+	dist, rep, err := co.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points != 4 || rep.Shards != 4 || rep.StorePoints != 0 {
+		t.Errorf("report = %+v, want 4 points in 4 shards, none from store", rep)
+	}
+	got, want := stableJSON(t, dist), stableJSON(t, serial)
+	if got != want {
+		t.Errorf("distributed stable JSON differs from serial:\n--- serial ---\n%s\n--- distributed ---\n%s", want, got)
+	}
+	// The typed rows came through the JSON codec bit-identically too.
+	for i := range serial.Rows {
+		if serial.Rows[i] != dist.Rows[i] {
+			t.Errorf("row %d: serial %+v != distributed %+v", i, serial.Rows[i], dist.Rows[i])
+		}
+	}
+}
+
+// TestWorkerDiesMidSweep: one worker starts failing after its first shard
+// (and one is dead from the start); the coordinator re-dispatches to the
+// survivor and still merges a correct, complete result.
+func TestWorkerDiesMidSweep(t *testing.T) {
+	sc := lookup(t, "fig10a")
+	spec := smallSpec()
+
+	healthy := startWorker(t)
+
+	// dying serves exactly one shard, then every request fails — the
+	// observable behavior of a worker process killed mid-sweep.
+	inner := serve.New(serve.Options{MaxWorkers: 2, Worker: true}).Handler()
+	var served atomic.Int32
+	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(dying.Close)
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from the first dial
+
+	co := cluster.New(cluster.Options{
+		Workers:     []string{dying.URL, dead.URL, healthy.URL},
+		ShardSize:   1,
+		MaxAttempts: 5,
+	})
+	dist, rep, err := co.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatalf("sweep failed despite a surviving worker: %v (report %+v)", err, rep)
+	}
+	if rep.Retries == 0 {
+		t.Error("no retries recorded; the dying workers were never exercised")
+	}
+	if len(rep.DroppedWorkers) == 0 {
+		t.Error("no workers dropped")
+	}
+
+	serial, err := scenario.Run(sc, spec, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stableJSON(t, dist), stableJSON(t, serial); got != want {
+		t.Error("result after worker failure differs from serial run")
+	}
+}
+
+// TestAllWorkersDead: with no survivors the sweep fails with a clear
+// error instead of hanging.
+func TestAllWorkersDead(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	co := cluster.New(cluster.Options{Workers: []string{dead.URL}, MaxAttempts: 10})
+	_, _, err := co.Run(context.Background(), lookup(t, "fig10a"), smallSpec())
+	if err == nil {
+		t.Fatal("sweep against a dead fleet succeeded")
+	}
+}
+
+// TestWarmStoreSkipsSimulation: a second sweep over a warm store serves
+// every point from disk — nothing is dispatched, nothing simulates.
+func TestWarmStoreSkipsSimulation(t *testing.T) {
+	sc := lookup(t, "fig10a")
+	spec := smallSpec()
+	dir := t.TempDir()
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := cluster.New(cluster.Options{Workers: []string{startWorker(t).URL}, ShardSize: 2, Store: st1})
+	first, rep1, err := cold.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.StorePoints != 0 || rep1.Dispatched == 0 {
+		t.Fatalf("cold report = %+v", rep1)
+	}
+
+	// Fresh store handle, no workers at all: the warm run must not need
+	// any compute — and a re-chunked sweep (different shard size) still
+	// hits, because rows are stored per point.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cluster.New(cluster.Options{Store: st2, ShardSize: 3})
+	second, rep2, err := warm.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.StorePoints != rep2.Points || rep2.Dispatched != 0 || rep2.Shards != 0 {
+		t.Errorf("warm report = %+v, want all %d points from store", rep2, rep2.Points)
+	}
+	if got, want := stableJSON(t, second), stableJSON(t, first); got != want {
+		t.Error("warm result differs from cold result")
+	}
+}
+
+// TestCorruptStoreEntryRecomputed: a damaged entry is detected, the point
+// recomputed, and the merged result stays correct.
+func TestCorruptStoreEntryRecomputed(t *testing.T) {
+	sc := lookup(t, "fig10a")
+	spec := smallSpec()
+	dir := t.TempDir()
+
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := cluster.New(cluster.Options{Store: st})
+	first, _, err := co.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate one entry file.
+	var corrupted bool
+	err = filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || corrupted {
+			return err
+		}
+		corrupted = true
+		return os.Truncate(p, info.Size()/2)
+	})
+	if err != nil || !corrupted {
+		t.Fatalf("corrupting store: %v (corrupted=%t)", err, corrupted)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co2 := cluster.New(cluster.Options{Store: st2})
+	second, rep, err := co2.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StorePoints != rep.Points-1 {
+		t.Errorf("report = %+v, want exactly one recomputed point", rep)
+	}
+	if c := st2.Counters(); c.Corrupt != 1 {
+		t.Errorf("corrupt counter = %d, want 1", c.Corrupt)
+	}
+	if got, want := stableJSON(t, second), stableJSON(t, first); got != want {
+		t.Error("result after corruption recovery differs")
+	}
+}
+
+// TestNotShardable: sweeps without a row codec (fig8 rows carry whole
+// cores) are rejected up front.
+func TestNotShardable(t *testing.T) {
+	co := cluster.New(cluster.Options{Workers: []string{"http://unused"}})
+	_, _, err := co.Run(context.Background(), lookup(t, "fig8"), scenario.Spec{})
+	if !errors.Is(err, cluster.ErrNotShardable) {
+		t.Fatalf("err = %v, want ErrNotShardable", err)
+	}
+}
+
+// TestVersionMismatch: a worker built at a different code version rejects
+// shards, and the coordinator fails fast instead of retrying forever.
+func TestVersionMismatch(t *testing.T) {
+	srv := serve.New(serve.Options{Worker: true, ShardVersion: "some-other-sim"})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	co := cluster.New(cluster.Options{Workers: []string{ts.URL}, MaxAttempts: 100})
+	_, rep, err := co.Run(context.Background(), lookup(t, "fig10a"), smallSpec())
+	if err == nil {
+		t.Fatal("mixed-version fleet merged rows")
+	}
+	if rep.Dispatched > 1 {
+		t.Errorf("version mismatch dispatched %d times; want fail-fast after 1", rep.Dispatched)
+	}
+}
+
+// TestAblationThroughCluster: the new ablation scenario is shardable end
+// to end — the satellite requirement that it runs through the cluster.
+func TestAblationThroughCluster(t *testing.T) {
+	sc := lookup(t, "ablation")
+	spec := scenario.Spec{Params: map[string]string{
+		"kind": "ones", "w": "2", "iters": "1", "slots": "2,30", "bws": "64"}}
+	co := cluster.New(cluster.Options{Workers: []string{startWorker(t).URL}, ShardSize: 1})
+	dist, _, err := co.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := scenario.Run(sc, spec, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stableJSON(t, dist), stableJSON(t, serial); got != want {
+		t.Errorf("distributed ablation differs from serial:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -1,0 +1,363 @@
+// Package cluster distributes scenario sweeps across a fleet of worker
+// processes (sempe-serve -worker). The coordinator expands the grid
+// exactly as a local engine run would, serves every point it can from the
+// on-disk store, chunks the rest into shards, dispatches them over HTTP,
+// and merges rows back in row-major order — so the merged result is
+// bit-identical to a serial registry run. Worker failure is survived by
+// bounded retry: a failed shard is re-queued for the surviving workers,
+// and a worker that keeps failing is dropped from the fleet.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/store"
+)
+
+// ErrNotShardable marks a scenario whose sweep rows cannot round-trip
+// through JSON (no DecodeRow); run those locally through the engine.
+var ErrNotShardable = errors.New("scenario's sweep is not shardable (no row codec)")
+
+// Options configures a coordinator.
+type Options struct {
+	// Workers are worker base URLs ("http://host:8080"). Empty means
+	// compute locally in-process — the sweep still flows through the store,
+	// which is how a warm store is built or verified without a fleet.
+	Workers []string
+	// ShardSize is the number of grid points per dispatched shard; 0
+	// means 8. Smaller shards spread better and lose less work to a dying
+	// worker; larger shards amortize HTTP overhead.
+	ShardSize int
+	// MaxAttempts bounds how many times one shard is dispatched before
+	// the sweep fails; 0 means 3.
+	MaxAttempts int
+	// WorkerFailLimit drops a worker from the fleet after this many
+	// consecutive request failures; 0 means 2.
+	WorkerFailLimit int
+	// Timeout bounds one shard request; 0 means 10 minutes.
+	Timeout time.Duration
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// Store, when set, serves already-computed points without dispatching
+	// and persists every newly computed row.
+	Store *store.Store
+}
+
+// Report describes where a distributed run's points came from and what
+// the dispatcher had to survive.
+type Report struct {
+	Points         int      `json:"points"`
+	StorePoints    int      `json:"store_points"` // served from the on-disk store
+	Shards         int      `json:"shards"`       // shards built for the missing points
+	Dispatched     int      `json:"dispatched"`   // shard POSTs attempted
+	Retries        int      `json:"retries"`      // failed POSTs that were re-queued
+	DroppedWorkers []string `json:"dropped_workers,omitempty"`
+}
+
+// Coordinator shards sweeps across workers. Safe for sequential reuse;
+// one Run at a time.
+type Coordinator struct {
+	opts Options
+}
+
+// New builds a coordinator, applying option defaults.
+func New(opts Options) *Coordinator {
+	if opts.ShardSize <= 0 {
+		opts.ShardSize = 8
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.WorkerFailLimit <= 0 {
+		opts.WorkerFailLimit = 2
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Minute
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	return &Coordinator{opts: opts}
+}
+
+// Run executes the scenario's sweep — store first, then the worker fleet
+// (or in-process when no workers are configured) — and renders the same
+// Result a local engine run would produce, plus a Report of point
+// provenance.
+func (c *Coordinator) Run(ctx context.Context, sc *scenario.Scenario, spec scenario.Spec) (*scenario.Result, *Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sw := sc.Sweep
+	if !sw.Shardable() {
+		return nil, nil, fmt.Errorf("%s: %w", sc.Name, ErrNotShardable)
+	}
+	axes, err := sw.Axes(spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", sc.Name, err)
+	}
+	pts := scenario.Expand(axes)
+	specKey := spec.Key()
+	rep := &Report{Points: len(pts)}
+	start := time.Now()
+
+	rows := make([]any, len(pts))
+	var missing []int
+	for i := range pts {
+		if c.opts.Store != nil {
+			if raw, ok := c.opts.Store.GetRow(sw.ID, specKey, i); ok {
+				if row, err := sw.DecodeRow(raw); err == nil {
+					rows[i] = row
+					rep.StorePoints++
+					continue
+				}
+			}
+		}
+		missing = append(missing, i)
+	}
+
+	if len(missing) > 0 {
+		if len(c.opts.Workers) == 0 {
+			err = c.runLocal(ctx, sw, spec, specKey, axes, pts, missing, rows)
+		} else {
+			err = c.dispatch(ctx, sc.Name, sw, spec, specKey, pts, missing, rows, rep)
+		}
+		if err != nil {
+			return nil, rep, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+	}
+
+	return &scenario.Result{
+		Scenario:      sc.Name,
+		Spec:          spec,
+		Axes:          axes,
+		Points:        len(pts),
+		Tables:        sc.Render(spec, rows),
+		ElapsedMillis: float64(time.Since(start)) / float64(time.Millisecond),
+		Rows:          rows,
+	}, rep, nil
+}
+
+// runLocal computes the missing points in-process (no fleet configured),
+// persisting each row as it lands.
+func (c *Coordinator) runLocal(ctx context.Context, sw *scenario.Sweep, spec scenario.Spec, specKey string, axes []scenario.Axis, pts []scenario.Point, missing []int, rows []any) error {
+	return scenario.Grid(len(missing), spec.Workers, func(j int) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		i := missing[j]
+		row, err := sw.Run(spec, pts[i])
+		if err != nil {
+			return fmt.Errorf("point %v: %w", pts[i].Labels(axes), err)
+		}
+		rows[i] = row
+		c.putRow(sw, specKey, i, row)
+		return nil
+	})
+}
+
+// putRow persists one computed row, best-effort: a full disk never fails
+// a sweep whose rows are already in memory.
+func (c *Coordinator) putRow(sw *scenario.Sweep, specKey string, i int, row any) {
+	if c.opts.Store == nil {
+		return
+	}
+	if raw, err := json.Marshal(row); err == nil {
+		c.opts.Store.PutRow(sw.ID, specKey, i, raw)
+	}
+}
+
+// task is one shard's dispatch state.
+type task struct {
+	indices  []int
+	attempts int
+}
+
+// dispatch fans the missing points across the worker fleet.
+func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sweep, spec scenario.Spec, specKey string, pts []scenario.Point, missing []int, rows []any, rep *Report) error {
+	var tasks []*task
+	for lo := 0; lo < len(missing); lo += c.opts.ShardSize {
+		hi := min(lo+c.opts.ShardSize, len(missing))
+		tasks = append(tasks, &task{indices: missing[lo:hi]})
+	}
+	rep.Shards = len(tasks)
+
+	// Capacity covers every send that can ever happen (initial queue plus
+	// every retry), so a worker goroutine re-queueing never blocks.
+	pending := make(chan *task, len(tasks)*c.opts.MaxAttempts)
+	for _, t := range tasks {
+		pending <- t
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	allDone := make(chan struct{})
+	var (
+		mu        sync.Mutex
+		remaining = len(tasks)
+		alive     = len(c.opts.Workers)
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for _, url := range c.opts.Workers {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			consecutive := 0
+			for {
+				var t *task
+				select {
+				case <-cctx.Done():
+					return
+				case <-allDone:
+					return
+				case t = <-pending:
+				}
+				mu.Lock()
+				rep.Dispatched++
+				mu.Unlock()
+				resp, fatal, err := c.postShard(cctx, url, ShardRequest{
+					Scenario: name,
+					Spec:     spec,
+					Indices:  t.indices,
+					Total:    len(pts),
+					Version:  store.CodeVersion,
+				})
+				if err != nil {
+					if cctx.Err() != nil {
+						return
+					}
+					if fatal {
+						fail(fmt.Errorf("worker %s: %w", url, err))
+						return
+					}
+					// Transient failure: re-queue the shard for whoever is
+					// still alive, and drop this worker once it has failed
+					// WorkerFailLimit shards in a row.
+					mu.Lock()
+					rep.Retries++
+					t.attempts++
+					exhausted := t.attempts >= c.opts.MaxAttempts
+					mu.Unlock()
+					if exhausted {
+						fail(fmt.Errorf("shard %v failed %d times, last on %s: %w",
+							shardLabel(t.indices), t.attempts, url, err))
+						return
+					}
+					pending <- t
+					consecutive++
+					if consecutive >= c.opts.WorkerFailLimit {
+						mu.Lock()
+						rep.DroppedWorkers = append(rep.DroppedWorkers, url)
+						alive--
+						last := alive == 0
+						mu.Unlock()
+						if last {
+							fail(fmt.Errorf("no surviving workers (last failure on %s: %v)", url, err))
+						}
+						return
+					}
+					continue
+				}
+				consecutive = 0
+				if len(resp.Rows) != len(t.indices) {
+					fail(fmt.Errorf("worker %s: shard %v returned %d rows, want %d",
+						url, shardLabel(t.indices), len(resp.Rows), len(t.indices)))
+					return
+				}
+				for j, idx := range t.indices {
+					row, err := sw.DecodeRow(resp.Rows[j])
+					if err != nil {
+						fail(fmt.Errorf("worker %s: point %d: undecodable row: %w", url, idx, err))
+						return
+					}
+					rows[idx] = row
+					if c.opts.Store != nil {
+						c.opts.Store.PutRow(sw.ID, specKey, idx, resp.Rows[j])
+					}
+				}
+				mu.Lock()
+				remaining--
+				done := remaining == 0
+				mu.Unlock()
+				if done {
+					close(allDone)
+					return
+				}
+			}
+		}(url)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if remaining > 0 {
+		return fmt.Errorf("%d shards undispatched with no surviving workers", remaining)
+	}
+	return nil
+}
+
+// postShard performs one shard request. fatal marks errors that retrying
+// on another worker cannot fix: a rejected request (bad spec, unknown
+// scenario, version or grid mismatch) will be rejected by every worker.
+func (c *Coordinator) postShard(ctx context.Context, url string, req ShardRequest) (resp *ShardResponse, fatal bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, true, err
+	}
+	rctx, rcancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer rcancel()
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost,
+		strings.TrimRight(url, "/")+ShardPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, true, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.opts.Client.Do(hreq)
+	if err != nil {
+		return nil, false, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
+		err := fmt.Errorf("shard request: %s: %s", hresp.Status, strings.TrimSpace(string(msg)))
+		return nil, hresp.StatusCode >= 400 && hresp.StatusCode < 500, err
+	}
+	var out ShardResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+		return nil, false, fmt.Errorf("shard response: %w", err)
+	}
+	return &out, false, nil
+}
+
+func shardLabel(indices []int) string {
+	if len(indices) == 0 {
+		return "[]"
+	}
+	return fmt.Sprintf("[%d..%d:%d]", indices[0], indices[len(indices)-1], len(indices))
+}

@@ -1,0 +1,41 @@
+// The cluster wire protocol: what a coordinator POSTs to a worker's
+// /shards endpoint and what comes back. A shard is an arbitrary subset of
+// a scenario's expanded grid, named by row-major point indices — indices
+// rather than ranges because the coordinator re-dispatches store-missed
+// and failed points, which are rarely contiguous.
+package cluster
+
+import (
+	"encoding/json"
+
+	"repro/internal/scenario"
+)
+
+// ShardPath is the worker endpoint (POST).
+const ShardPath = "/shards"
+
+// ShardRequest asks a worker to simulate a subset of a scenario's grid.
+type ShardRequest struct {
+	// Scenario resolves the sweep through the worker's registry.
+	Scenario string `json:"scenario"`
+	// Spec is the full sweep spec; the worker expands the same grid the
+	// coordinator did.
+	Spec scenario.Spec `json:"spec"`
+	// Indices are the row-major grid points to simulate.
+	Indices []int `json:"indices"`
+	// Total is the coordinator's expanded grid size. A worker whose
+	// expansion disagrees (diverged code, different registry) rejects the
+	// shard rather than return rows from a different grid.
+	Total int `json:"total"`
+	// Version is the coordinator's store.CodeVersion; a worker built at a
+	// different version rejects the shard so mixed fleets fail loudly
+	// instead of merging incompatible rows.
+	Version string `json:"version"`
+}
+
+// ShardResponse carries one JSON-encoded row per requested index, in
+// request order.
+type ShardResponse struct {
+	Rows   []json.RawMessage `json:"rows"`
+	Millis float64           `json:"elapsed_ms"`
+}

@@ -25,7 +25,7 @@ func lookup(t *testing.T, name string) *scenario.Scenario {
 // TestRegisteredScenarios: every paper artifact plus the security sweep
 // resolves through the registry.
 func TestRegisteredScenarios(t *testing.T) {
-	for _, name := range []string{"fig8", "fig9", "fig10a", "fig10b", "table1", "table2", "leakmatrix"} {
+	for _, name := range []string{"fig8", "fig9", "fig10a", "fig10b", "table1", "table2", "ablation", "leakmatrix"} {
 		sc := lookup(t, name)
 		if sc.Description == "" {
 			t.Errorf("%s: empty description", name)
@@ -102,13 +102,11 @@ func goldenFig10Spec() scenario.Spec {
 	}
 }
 
-// stableResultJSON strips wall-time fields (the only nondeterminism in a
-// Result) and marshals.
+// stableResultJSON marshals the result's stable form (wall times and
+// worker count zeroed — the only nondeterminism in a Result).
 func stableResultJSON(t *testing.T, res *scenario.Result) []byte {
 	t.Helper()
-	res.ElapsedMillis = 0
-	res.Slowest = nil
-	out, err := json.MarshalIndent(res, "", "  ")
+	out, err := json.MarshalIndent(res.Stable(), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}

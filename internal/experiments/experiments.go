@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -41,6 +42,19 @@ func mustRun(cfg pipeline.Config, p *lang.Program, mode compile.Mode) (*pipeline
 		return nil, err
 	}
 	return Run(cfg, out.Prog)
+}
+
+// decodeRowAs is the row codec shardable sweeps install as DecodeRow: it
+// inverts json.Marshal on the sweep's typed row, which is what lets the
+// cluster coordinator and the on-disk store rehydrate rows computed
+// elsewhere. Row types used here must round-trip exactly (primitive
+// fields only; float64 survives encoding/json bit-for-bit).
+func decodeRowAs[T any](raw json.RawMessage) (any, error) {
+	var row T
+	if err := json.Unmarshal(raw, &row); err != nil {
+		return nil, err
+	}
+	return row, nil
 }
 
 // ------------------------------------------------- spec parameter plumbing

@@ -135,6 +135,7 @@ var fig10Sweep = &scenario.Sweep{
 		}
 		return fig10Point(f, f.Kinds[p.Coords[0]], f.Ws[p.Coords[1]])
 	},
+	DecodeRow: decodeRowAs[Fig10Row],
 }
 
 // fig10Point measures one (kernel, W) point: the baseline binary on the

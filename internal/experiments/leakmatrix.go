@@ -122,6 +122,7 @@ var leakSweep = &scenario.Sweep{
 		}
 		return leakPoint(f, f.Kinds[p.Coords[0]], f.Ws[p.Coords[1]])
 	},
+	DecodeRow: decodeRowAs[LeakRow],
 }
 
 // leakPoint runs the distinguisher for one (kernel, W) cell: the same

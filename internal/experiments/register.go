@@ -60,6 +60,14 @@ func init() {
 		},
 	})
 	scenario.Register(&scenario.Scenario{
+		Name:        "ablation",
+		Description: "SPM geometry ablation: jbTable depth (slots) x SPM bandwidth, with §IV-E overflow downgrades; params: kind, w, iters, slots, bws",
+		Sweep:       ablationSweep,
+		Render: func(spec scenario.Spec, rows []any) []*stats.Table {
+			return []*stats.Table{RenderAblation(spec, ablationRows(rows))}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
 		Name:        "leakmatrix",
 		Description: "security sweep: observable-channel distinguisher, baseline vs. SeMPE (kernels x W); params: kinds, ws, iters, secrets",
 		Sweep:       leakSweep,

@@ -1,0 +1,24 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParamFlag collects repeated -param key=value command-line flags into
+// the map Spec.Params carries — the one implementation shared by every
+// binary that parameterizes scenarios (sempe-bench, sempe-sweep). It
+// satisfies flag.Value.
+type ParamFlag map[string]string
+
+func (p ParamFlag) String() string { return fmt.Sprintf("%v", map[string]string(p)) }
+
+// Set records one key=value pair.
+func (p ParamFlag) Set(s string) error {
+	k, v, found := strings.Cut(s, "=")
+	if !found || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	p[k] = v
+	return nil
+}

@@ -14,6 +14,8 @@
 package scenario
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -162,7 +164,20 @@ type Sweep struct {
 	ID   string
 	Axes func(Spec) ([]Axis, error)
 	Run  func(Spec, Point) (any, error)
+
+	// DecodeRow, when set, decodes one JSON-encoded row back into the
+	// sweep's typed row — the inverse of json.Marshal on Run's result.
+	// Declaring it makes the sweep shardable: the cluster coordinator can
+	// merge rows computed by remote workers, and the on-disk store can
+	// rehydrate persisted points. Sweeps whose rows do not survive a JSON
+	// round trip (fig8 rows carry whole simulated cores) leave it nil and
+	// stay local-only.
+	DecodeRow func(json.RawMessage) (any, error)
 }
+
+// Shardable reports whether the sweep's rows survive a JSON round trip,
+// which is what cluster distribution and on-disk row persistence require.
+func (sw *Sweep) Shardable() bool { return sw.DecodeRow != nil }
 
 // Scenario is one registered evaluation: a sweep plus a renderer turning
 // the sweep's rows into tables.
@@ -194,14 +209,33 @@ type Result struct {
 	Rows          []any          `json:"-"`
 }
 
+// Stable returns a copy of the result with every nondeterministic field
+// zeroed: wall times, the slowest-point report, the worker count (which
+// never affects rows), and the in-memory Rows. Two runs of the same
+// (scenario, spec) — serial, parallel, or distributed across a cluster —
+// encode their stable forms to byte-identical JSON; cmd/sempe-bench
+// -stable, cmd/sempe-sweep, the golden tests, and the CI cluster smoke
+// job all diff stable encodings.
+func (r *Result) Stable() *Result {
+	out := *r
+	out.ElapsedMillis = 0
+	out.Slowest = nil
+	out.Spec.Workers = 0
+	out.Rows = nil
+	return &out
+}
+
 // RunOptions tunes one engine invocation. Progress, when set, is called
 // after every completed grid point with (done, total); it may be called
 // from multiple goroutines but never concurrently. Rows, when set,
 // memoizes sweep rows by (sweep, spec) so scenarios sharing a sweep — or
-// repeated runs of the same spec — simulate the grid once.
+// repeated runs of the same spec — simulate the grid once. Context, when
+// set, cancels the sweep between grid points: in-flight points finish,
+// remaining points are skipped, and the run returns the context's error.
 type RunOptions struct {
 	Progress func(done, total int)
 	Rows     *RowCache
+	Context  context.Context
 }
 
 // Run executes the scenario's sweep under spec and renders its tables.
@@ -262,6 +296,9 @@ func runPoints(sw *Sweep, spec Spec, axes []Axis, pts []Point, opts RunOptions) 
 	var mu sync.Mutex
 	done := 0
 	err := Grid(len(pts), spec.Workers, func(i int) error {
+		if opts.Context != nil && opts.Context.Err() != nil {
+			return opts.Context.Err()
+		}
 		t0 := time.Now()
 		row, err := sw.Run(spec, pts[i])
 		millis[i] = float64(time.Since(t0)) / float64(time.Millisecond)
@@ -317,5 +354,14 @@ func (c *RowCache) rows(key string, compute func() ([]any, *PointStat, error)) (
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.rows, e.slowest, e.err = compute() })
+	if e.err != nil {
+		// Failures — a canceled context included — must not poison the
+		// key: drop the entry so a later identical request recomputes.
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
 	return e.rows, e.slowest, e.err
 }

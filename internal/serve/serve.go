@@ -2,13 +2,17 @@
 // scenario registry over HTTP. It exposes the registered scenarios, runs
 // parameterized sweeps with bounded concurrency, reports per-run progress,
 // and memoizes completed results in an LRU cache keyed by (scenario, spec)
-// so repeated queries never re-simulate.
+// so repeated queries never re-simulate. With a Store configured the cache
+// gains a persistent tier: completed results are written to disk and a
+// cache miss falls through to it, so a restarted server answers warm.
 //
-//	GET  /scenarios   -> registered scenarios with their axes
-//	POST /runs        -> start (or instantly answer from cache) a run
-//	GET  /runs        -> all runs, newest first
-//	GET  /runs/{id}   -> one run: status, progress, and result when done
-//	GET  /healthz     -> liveness
+//	GET  /scenarios        -> registered scenarios with their axes
+//	POST /runs             -> start (or instantly answer from cache) a run
+//	GET  /runs             -> all runs, newest first
+//	GET  /runs/{id}        -> one run: status, progress, and result when done
+//	POST /runs/{id}/cancel -> stop an in-flight run between grid points
+//	POST /shards           -> simulate a grid subset (worker mode only)
+//	GET  /healthz          -> liveness
 //
 // POST /runs accepts {"scenario": "fig10a", "spec": {"quick": true,
 // "workers": 4, "params": {"kinds": "fibonacci"}}, "wait": true}; with
@@ -18,13 +22,16 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
 
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // Options tunes the server.
@@ -40,6 +47,15 @@ type Options struct {
 	// kept for GET /runs; the oldest finished runs are dropped beyond it.
 	// 0 means 256.
 	MaxTrackedRuns int
+	// Store, when set, persists completed results on disk and serves LRU
+	// misses from it — warm restarts, shared result directories.
+	Store *store.Store
+	// Worker enables the cluster shard endpoint (POST /shards), making
+	// this process dispatchable by a cluster coordinator (sempe-sweep).
+	Worker bool
+	// ShardVersion overrides the code version the shard endpoint accepts;
+	// empty means store.CodeVersion. Tests only.
+	ShardVersion string
 }
 
 // Server is the evaluation service. Create with New, mount via Handler.
@@ -55,8 +71,10 @@ type Server struct {
 	rows   *scenario.RowCache
 
 	// computes counts engine executions (cache misses); the serve tests
-	// assert a repeated spec does not increment it.
-	computes int
+	// assert a repeated spec does not increment it. storeHits counts LRU
+	// misses answered by the persistent store.
+	computes  int
+	storeHits int
 }
 
 // run is one tracked sweep execution.
@@ -64,13 +82,14 @@ type run struct {
 	id       string
 	scenario string
 	spec     scenario.Spec
-	status   string // "queued" | "running" | "done" | "error"
+	status   string // "queued" | "running" | "done" | "canceled" | "error"
 	cached   bool
 	done     int
 	total    int
 	errMsg   string
 	result   *scenario.Result
 	finished chan struct{}
+	cancel   context.CancelFunc
 }
 
 // New builds a server.
@@ -86,6 +105,9 @@ func New(opts Options) *Server {
 	}
 	if opts.MaxTrackedRuns <= 0 {
 		opts.MaxTrackedRuns = 256
+	}
+	if opts.ShardVersion == "" {
+		opts.ShardVersion = store.CodeVersion
 	}
 	return &Server{
 		opts:  opts,
@@ -103,8 +125,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /runs", s.handleCreateRun)
 	mux.HandleFunc("GET /runs", s.handleListRuns)
 	mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
+	mux.HandleFunc("POST /runs/{id}/cancel", s.handleCancelRun)
+	if s.opts.Worker {
+		mux.HandleFunc("POST "+shardPath, s.handleShard)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "worker": fmt.Sprintf("%t", s.opts.Worker)})
 	})
 	return mux
 }
@@ -176,32 +202,41 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey(sc.Name, req.Spec)
+	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	s.nextID++
 	rn := &run{
 		id:       fmt.Sprintf("run-%d", s.nextID),
 		scenario: sc.Name,
 		spec:     req.Spec,
+		status:   "queued", // published before the cache/store lookup settles
 		finished: make(chan struct{}),
+		cancel:   cancel,
 	}
 	s.runs[rn.id] = rn
 	s.order = append(s.order, rn.id)
 	s.pruneRuns()
-	if res, hit := s.cache.get(key); hit {
-		rn.status = "done"
-		rn.cached = true
-		rn.result = res
-		rn.done, rn.total = res.Points, res.Points
-		close(rn.finished)
-		view := rn.view()
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, view)
+	res, hit := s.cache.get(key)
+	if hit {
+		s.finishCached(w, rn, res)
 		return
 	}
-	rn.status = "queued"
 	s.mu.Unlock()
-
-	go s.execute(sc, rn, key)
+	if s.opts.Store != nil {
+		// LRU miss: fall through to the persistent store (a result from a
+		// previous process lifetime) before paying for a simulation. The
+		// disk read happens outside s.mu so progress polls and other runs
+		// never stall behind I/O; two identical concurrent requests may
+		// both read the entry, which is a benign duplicate.
+		if stored, ok := s.opts.Store.GetResult(sc.Name, req.Spec); ok {
+			s.mu.Lock()
+			s.cache.put(key, stored)
+			s.storeHits++
+			s.finishCached(w, rn, stored)
+			return
+		}
+	}
+	go s.execute(ctx, sc, rn, key)
 
 	if req.Wait {
 		<-rn.finished
@@ -216,8 +251,33 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, view)
 }
 
-func (s *Server) execute(sc *scenario.Scenario, rn *run, key string) {
-	s.sem <- struct{}{}
+// finishCached completes a run from an already-available result and
+// writes the response. The caller holds s.mu; finishCached releases it.
+func (s *Server) finishCached(w http.ResponseWriter, rn *run, res *scenario.Result) {
+	rn.cancel()
+	rn.status = "done"
+	rn.cached = true
+	rn.result = res
+	rn.done, rn.total = res.Points, res.Points
+	close(rn.finished)
+	view := rn.view()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) execute(ctx context.Context, sc *scenario.Scenario, rn *run, key string) {
+	defer rn.cancel() // release the context's resources however we exit
+
+	// A run canceled while queued never occupies a simulation slot.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.mu.Lock()
+		rn.status = "canceled"
+		close(rn.finished)
+		s.mu.Unlock()
+		return
+	}
 	defer func() { <-s.sem }()
 
 	s.mu.Lock()
@@ -225,20 +285,42 @@ func (s *Server) execute(sc *scenario.Scenario, rn *run, key string) {
 	s.computes++
 	s.mu.Unlock()
 
-	res, err := scenario.Run(sc, rn.spec, scenario.RunOptions{
-		Rows: s.rows,
-		Progress: func(done, total int) {
-			s.mu.Lock()
-			rn.done, rn.total = done, total
-			s.mu.Unlock()
-		},
-	})
+	var res *scenario.Result
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		res, err = scenario.Run(sc, rn.spec, scenario.RunOptions{
+			Rows:    s.rows,
+			Context: ctx,
+			Progress: func(done, total int) {
+				s.mu.Lock()
+				rn.done, rn.total = done, total
+				s.mu.Unlock()
+			},
+		})
+		// Two concurrent runs of the same spec share one single-flight
+		// RowCache compute, which runs under whichever context got there
+		// first. If THAT run was canceled, this one sees context.Canceled
+		// without its own client having asked for it — the failed entry
+		// has been dropped from the cache, so recompute under our own
+		// still-live context instead of reporting a spurious error.
+		if err == nil || ctx.Err() != nil || !errors.Is(err, context.Canceled) {
+			break
+		}
+	}
+
+	if err == nil && s.opts.Store != nil {
+		// Best-effort: a failed disk write must not fail a computed run.
+		s.opts.Store.PutResult(res)
+	}
 
 	s.mu.Lock()
-	if err != nil {
+	switch {
+	case ctx.Err() != nil && err != nil:
+		rn.status = "canceled"
+	case err != nil:
 		rn.status = "error"
 		rn.errMsg = err.Error()
-	} else {
+	default:
 		rn.status = "done"
 		rn.result = res
 		rn.done, rn.total = res.Points, res.Points
@@ -246,6 +328,24 @@ func (s *Server) execute(sc *scenario.Scenario, rn *run, key string) {
 	}
 	close(rn.finished)
 	s.mu.Unlock()
+}
+
+// handleCancelRun stops an in-flight run between grid points. Cancelling
+// a finished (or already canceled) run is a no-op; the response always
+// carries the run's current view, so cancellation is idempotent.
+func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rn, ok := s.runs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	rn.cancel()
+	s.mu.Lock()
+	view := rn.view()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
@@ -274,7 +374,7 @@ func (s *Server) pruneRuns() {
 	kept := s.order[:0]
 	for _, id := range s.order {
 		rn := s.runs[id]
-		if excess > 0 && (rn.status == "done" || rn.status == "error") {
+		if excess > 0 && (rn.status == "done" || rn.status == "error" || rn.status == "canceled") {
 			delete(s.runs, id)
 			excess--
 			continue

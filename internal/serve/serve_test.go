@@ -12,6 +12,7 @@ import (
 	_ "repro/internal/experiments" // registers the paper's scenarios
 	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -258,5 +259,231 @@ func TestServeSmallSweepMatchesDirectRun(t *testing.T) {
 	if !reflect.DeepEqual(direct.Tables, view.Result.Tables) {
 		t.Errorf("HTTP result differs from direct engine run:\ndirect: %+v\nhttp:   %+v",
 			direct.Tables, view.Result.Tables)
+	}
+}
+
+// TestCancelRun: POST /runs/{id}/cancel stops an in-flight sweep between
+// grid points; the run reports status "canceled" with partial progress,
+// and a later identical request recomputes (a canceled run must poison no
+// cache).
+func TestCancelRun(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// A long sweep of many small points: cancellation latency is bounded
+	// by one point's wall time, while the whole sweep takes long enough
+	// that the test cannot lose the race.
+	body := `{"scenario": "fig10a", "spec": {"workers": 1, "params": {"ws": "3", "iters": "4"}}}`
+	view, code := postRun(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /runs = %d, want 202", code)
+	}
+
+	// Wait for the first point to land so the cancel provably hits a
+	// running sweep.
+	deadline := time.Now().Add(30 * time.Second)
+	var got runView
+	for {
+		if getJSON(t, ts.URL+"/runs/"+view.ID, &got) != http.StatusOK {
+			t.Fatalf("GET /runs/%s failed", view.ID)
+		}
+		if got.Status == "running" && got.Progress.Done >= 1 {
+			break
+		}
+		if got.Status == "done" || got.Status == "error" {
+			t.Fatalf("run finished (%s) before it could be canceled; enlarge the sweep", got.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run stuck in %q", got.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/runs/"+view.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST cancel = %d", resp.StatusCode)
+	}
+
+	for {
+		getJSON(t, ts.URL+"/runs/"+view.ID, &got)
+		if got.Status != "queued" && got.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never left %q after cancel", got.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got.Status != "canceled" {
+		t.Fatalf("status = %q, want canceled", got.Status)
+	}
+	if got.Result != nil {
+		t.Error("canceled run carries a result")
+	}
+	if got.Progress.Done >= got.Progress.Total {
+		t.Errorf("progress = %+v; cancel should have cut the sweep short", got.Progress)
+	}
+
+	// Canceling a finished run is an idempotent no-op.
+	resp, err = http.Post(ts.URL+"/runs/"+view.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("second cancel = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/runs/nope/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown run = %d, want 404", resp.StatusCode)
+	}
+
+	// The canceled sweep left no poisoned cache entry behind: the same
+	// spec runs to completion afterwards.
+	small := `{"scenario": "fig10a", "spec": {"params": {"kinds": "ones", "ws": "1", "iters": "1"}}, "wait": true}`
+	done, code := postRun(t, ts, small)
+	if code != http.StatusOK || done.Status != "done" {
+		t.Fatalf("post-cancel run = %d %q", code, done.Status)
+	}
+	srv.mu.Lock()
+	computes := srv.computes
+	srv.mu.Unlock()
+	if computes < 2 {
+		t.Errorf("computes = %d, want the canceled run plus the follow-up", computes)
+	}
+}
+
+// TestStoreBackedCacheAcrossRestart: with a Store configured, a completed
+// result survives a server restart — the second process answers from disk
+// without simulating.
+func TestStoreBackedCacheAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"scenario": "fig10a", "spec": {"params": {"kinds": "ones", "ws": "1", "iters": "1"}}, "wait": true}`
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(Options{MaxWorkers: 2, Store: st1})
+	ts1 := httptest.NewServer(srv1.Handler())
+	first, code := postRun(t, ts1, body)
+	ts1.Close() // the "restart"
+	if code != http.StatusOK || first.Status != "done" || first.Cached {
+		t.Fatalf("first run: %d %q cached=%t", code, first.Status, first.Cached)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(Options{MaxWorkers: 2, Store: st2})
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	second, code := postRun(t, ts2, body)
+	if code != http.StatusOK || second.Status != "done" {
+		t.Fatalf("second run: %d %q", code, second.Status)
+	}
+	if !second.Cached {
+		t.Error("restarted server did not answer from the store")
+	}
+	srv2.mu.Lock()
+	computes, storeHits := srv2.computes, srv2.storeHits
+	srv2.mu.Unlock()
+	if computes != 0 || storeHits != 1 {
+		t.Errorf("computes=%d storeHits=%d, want 0 and 1", computes, storeHits)
+	}
+	if !reflect.DeepEqual(first.Result.Tables, second.Result.Tables) {
+		t.Error("store-served tables differ from the computed ones")
+	}
+
+	// Once warmed, the in-memory LRU answers; the store is not re-read.
+	third, _ := postRun(t, ts2, body)
+	srv2.mu.Lock()
+	storeHits = srv2.storeHits
+	srv2.mu.Unlock()
+	if !third.Cached || storeHits != 1 {
+		t.Errorf("third run cached=%t storeHits=%d, want LRU hit without another store read", third.Cached, storeHits)
+	}
+}
+
+// TestShardEndpointDisabledOutsideWorkerMode: /shards exists only when
+// worker mode is on.
+func TestShardEndpointDisabledOutsideWorkerMode(t *testing.T) {
+	_, ts := newTestServer(t) // not a worker
+	resp, err := http.Post(ts.URL+"/shards", "application/json", bytes.NewBufferString(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("POST /shards without worker mode = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCancelDoesNotContaminateConcurrentIdenticalRun: two concurrent
+// runs of the same spec share one single-flight RowCache compute;
+// canceling one must not fail the other — it recomputes under its own
+// context and finishes "done".
+func TestCancelDoesNotContaminateConcurrentIdenticalRun(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"scenario": "fig10a", "spec": {"workers": 1, "params": {"ws": "2", "iters": "4"}}}`
+
+	a, code := postRun(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST A = %d", code)
+	}
+	// Wait until A is actually simulating so B will join A's in-flight
+	// compute rather than win the single-flight itself.
+	deadline := time.Now().Add(30 * time.Second)
+	var got runView
+	for {
+		getJSON(t, ts.URL+"/runs/"+a.ID, &got)
+		if got.Status == "running" && got.Progress.Done >= 1 {
+			break
+		}
+		if got.Status != "queued" && got.Status != "running" {
+			t.Fatalf("run A ended %q before the test could race it", got.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run A never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	b, code := postRun(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST B = %d", code)
+	}
+
+	resp, err := http.Post(ts.URL+"/runs/"+a.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	for {
+		getJSON(t, ts.URL+"/runs/"+b.ID, &got)
+		if got.Status == "done" || got.Status == "error" || got.Status == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run B stuck in %q", got.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got.Status != "done" || got.Result == nil {
+		t.Fatalf("run B ended %q (error %q); canceling A must not fail B", got.Status, got.Error)
+	}
+	// A itself reports canceled (or, if the race resolved the other way
+	// and B's context owned the compute, A may have completed).
+	getJSON(t, ts.URL+"/runs/"+a.ID, &got)
+	if got.Status != "canceled" && got.Status != "done" {
+		t.Errorf("run A ended %q", got.Status)
 	}
 }

@@ -1,0 +1,60 @@
+// Typed entry kinds on top of the raw byte store: whole scenario results
+// (the sempe-serve cache's persistent tier) and single sweep rows (the
+// coordinator's unit of re-use — shard boundaries never appear in keys, so
+// a re-chunked sweep still hits every point it has already simulated).
+package store
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"repro/internal/scenario"
+)
+
+// ResultKey addresses a completed scenario run. Spec.Key excludes the
+// worker count, so results hit across parallelism settings.
+func ResultKey(name string, spec scenario.Spec) string {
+	return "result|" + name + "|" + spec.Key()
+}
+
+// RowKey addresses one grid point of a sweep under a spec key (the value
+// of scenario.Spec.Key). It is keyed by sweep ID, not scenario name, so
+// scenarios sharing a sweep (fig10a, fig10b, table1) share stored rows.
+func RowKey(sweepID, specKey string, index int) string {
+	return "row|" + sweepID + "|" + specKey + "|" + strconv.Itoa(index)
+}
+
+// GetResult rehydrates a stored scenario result. The result's Rows are
+// not persisted (they are the in-memory typed form); everything a client
+// of sempe-serve consumes — spec, axes, tables, timing — survives.
+func (s *Store) GetResult(name string, spec scenario.Spec) (*scenario.Result, bool) {
+	raw, ok := s.Get(ResultKey(name, spec))
+	if !ok {
+		return nil, false
+	}
+	var res scenario.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// PutResult persists a completed scenario result.
+func (s *Store) PutResult(res *scenario.Result) error {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	return s.Put(ResultKey(res.Scenario, res.Spec), raw)
+}
+
+// GetRow returns one persisted sweep row's JSON.
+func (s *Store) GetRow(sweepID, specKey string, index int) (json.RawMessage, bool) {
+	raw, ok := s.Get(RowKey(sweepID, specKey, index))
+	return raw, ok
+}
+
+// PutRow persists one sweep row's JSON.
+func (s *Store) PutRow(sweepID, specKey string, index int, row json.RawMessage) error {
+	return s.Put(RowKey(sweepID, specKey, index), row)
+}
