@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke sweep serve smoke-cluster clean
+.PHONY: check vet build test race bench bench-smoke sweep serve smoke-cluster smoke-attack clean
 
 # check is the tier-1 gate plus a benchmark smoke run.
 check: vet build test bench-smoke
@@ -43,6 +43,12 @@ serve:
 # re-runs warm from the on-disk store). CI runs this too.
 smoke-cluster:
 	./scripts/cluster_smoke.sh
+
+# smoke-attack runs the attack lab end to end: the baseline must leak the
+# secret (recovery + TVLA), SeMPE must not, and the sharded spectre sweep
+# must merge byte-identically to the serial run. CI runs this too.
+smoke-attack:
+	./scripts/attack_smoke.sh
 
 clean:
 	$(GO) clean ./...

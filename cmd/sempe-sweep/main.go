@@ -13,6 +13,10 @@
 // re-simulated; the provenance report on stderr says how many were served
 // from disk and how many shards were dispatched (and retried, when a
 // worker died mid-sweep).
+//
+// Maintenance: `sempe-sweep -store results/ -gc [-gc-age 720h]` prunes
+// entries written by other simulator versions (and, with -gc-age, entries
+// older than the cutoff) and exits.
 package main
 
 import (
@@ -45,9 +49,28 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced sweep (seconds, not minutes)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "per-worker point parallelism")
 		format    = flag.String("format", "json", "output encoding: text|json|csv")
+		gc        = flag.Bool("gc", false, "garbage-collect the -store directory (stale code versions; see -gc-age) and exit")
+		gcAge     = flag.Duration("gc-age", 0, "with -gc, also prune entries older than this (0 = version-based pruning only)")
 	)
 	flag.Var(params, "param", "scenario parameter key=value (repeatable)")
 	flag.Parse()
+
+	if *gc {
+		if *storeDir == "" {
+			fatal("-gc requires -store")
+		}
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal("%v", err)
+		}
+		rep, err := st.GC(*gcAge)
+		if err != nil {
+			fatal("gc: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "gc %s: scanned %d, removed %d (%d stale-version, %d aged, %d corrupt), kept %d\n",
+			*storeDir, rep.Scanned, rep.Removed(), rep.RemovedVersion, rep.RemovedAge, rep.RemovedCorrupt, rep.Kept)
+		return
+	}
 
 	if *name == "" {
 		fatal("-scenario is required; registered: %s", strings.Join(scenario.Names(), ", "))
@@ -67,11 +90,11 @@ func main() {
 		MaxAttempts: *attempts,
 		Timeout:     *timeout,
 	}
-	for _, u := range strings.Split(*workersF, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			opts.Workers = append(opts.Workers, u)
-		}
+	workers, err := cluster.ParseWorkers(*workersF)
+	if err != nil {
+		fatal("%v", err)
 	}
+	opts.Workers = workers
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {

@@ -1,0 +1,437 @@
+// Package attack is the attack lab: concrete microarchitectural attackers
+// that run *attacker programs* on the simulated core against a victim
+// parameterized by a one-bit secret, and measure what a realistic adversary
+// measures — per-trial timing vectors, not digest equality.
+//
+// Two attackers are implemented:
+//
+//   - BPProbe, a Spectre-PHT-style branch-predictor probe: the victim's
+//     secret branch trains the TAGE bimodal state in place, and the
+//     attacker then re-executes the same static branch with a known input,
+//     timing the mispredict-dependent probe segment (Kocher et al.;
+//     Chowdhuryy & Yao, "Leaking Secrets through Modern Branch
+//     Predictors").
+//   - PrimeProbe, a prime+probe DL1 conflict attack: the attacker fills
+//     both ways of two chosen cache sets, the victim performs one
+//     secret-selected load that evicts the attacker's line from one of
+//     them, and the attacker times a per-set reload.
+//
+// Timing is measured the way the paper's threat model allows: marker
+// stores in the attacker program are timestamped at commit through the
+// core's MemWatch hook, so a trial yields the cycle length of each probe
+// segment. Every trial builds, compiles, and runs fresh programs with
+// per-trial public randomness (noise work, probed-set selection) drawn
+// from a seeded deterministic stream, so batches are exactly reproducible
+// and pairable across architectures.
+//
+// internal/stattest turns trial batches into the statistical verdicts
+// (TVLA fixed-vs-random, mutual information, recovery rate); assess.go
+// bundles them into one Assessment.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compile"
+	"repro/internal/lang"
+	"repro/internal/leak"
+	"repro/internal/pipeline"
+)
+
+// Kind identifies an attacker implementation.
+type Kind int
+
+// The implemented attackers.
+const (
+	BPProbe    Kind = iota // branch-predictor probe (Spectre-PHT style)
+	PrimeProbe             // DL1 prime+probe conflict attack
+)
+
+// AllKinds returns every attacker, in report order.
+func AllKinds() []Kind { return []Kind{BPProbe, PrimeProbe} }
+
+func (k Kind) String() string {
+	switch k {
+	case BPProbe:
+		return "bp"
+	case PrimeProbe:
+		return "cache"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range AllKinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("attack: unknown attacker %q (have bp|cache)", s)
+}
+
+// ArchName names the attacked architecture for reports: the unprotected
+// baseline or the SeMPE-protected core.
+func ArchName(secure bool) string {
+	if secure {
+		return "sempe"
+	}
+	return "baseline"
+}
+
+// ParseArch is the inverse of ArchName.
+func ParseArch(s string) (secure bool, err error) {
+	switch s {
+	case "baseline":
+		return false, nil
+	case "sempe":
+		return true, nil
+	}
+	return false, fmt.Errorf("attack: unknown arch %q (have baseline|sempe)", s)
+}
+
+// Params parameterizes one trial batch.
+type Params struct {
+	Kind   Kind  `json:"kind"`
+	Secure bool  `json:"secure"` // false = unprotected baseline, true = SeMPE
+	Trials int   `json:"trials"`
+	Seed   int64 `json:"seed"`
+	// Noise bounds the per-trial in-window public noise work (operations
+	// inside the measured probe segment), drawn uniformly from [0, Noise].
+	// It models environmental jitter a real measurement would see; the
+	// default keeps it below half the microarchitectural signal so the
+	// calibrated classifier stays reliable on the baseline.
+	Noise int `json:"noise"`
+	// FixedSecret pins every trial's secret bit (0 or 1) — the TVLA
+	// "fixed" batch. Negative means a fresh random bit per trial (the
+	// "random" batch and the recovery experiment).
+	FixedSecret int64 `json:"fixed_secret"`
+}
+
+// DefaultParams returns the batch configuration the spectre/tvla scenarios
+// and cmd/sempe-attack start from.
+func DefaultParams(kind Kind, secure bool) Params {
+	return Params{Kind: kind, Secure: secure, Trials: 100, Seed: 1, Noise: 2, FixedSecret: -1}
+}
+
+// validate rejects out-of-range parameters loudly — silently substituting
+// a default would let a store entry's key disagree with what was actually
+// computed.
+func (p Params) validate() error {
+	switch p.Kind {
+	case BPProbe, PrimeProbe:
+	default:
+		return fmt.Errorf("attack: unknown attacker kind %d", int(p.Kind))
+	}
+	if p.Trials <= 0 {
+		return fmt.Errorf("attack: trials must be >= 1, have %d", p.Trials)
+	}
+	if p.Noise < 0 {
+		return fmt.Errorf("attack: noise must be >= 0, have %d", p.Noise)
+	}
+	return nil
+}
+
+// Trial is one attack trial: the victim's secret bit, the attacker's
+// observation vector, and the attacker's guess after calibration.
+type Trial struct {
+	Secret uint64    `json:"secret"`
+	Obs    []float64 `json:"obs"`
+	Guess  uint64    `json:"guess"`
+}
+
+// Batch is a completed set of trials under one Params.
+type Batch struct {
+	Params  Params   `json:"params"`
+	Columns []string `json:"columns"`
+	Trials  []Trial  `json:"trials"`
+}
+
+// Column extracts one observation column across trials.
+func (b *Batch) Column(i int) []float64 {
+	out := make([]float64, len(b.Trials))
+	for j, t := range b.Trials {
+		out[j] = t.Obs[i]
+	}
+	return out
+}
+
+// Secrets extracts the per-trial secret bits.
+func (b *Batch) Secrets() []uint64 {
+	out := make([]uint64, len(b.Trials))
+	for j, t := range b.Trials {
+		out[j] = t.Secret
+	}
+	return out
+}
+
+// Recovered counts trials whose guess matched the secret.
+func (b *Batch) Recovered() int {
+	n := 0
+	for _, t := range b.Trials {
+		if t.Guess == t.Secret {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoveryRate is the fraction of trials whose guess matched the secret.
+func (b *Batch) RecoveryRate() float64 {
+	if len(b.Trials) == 0 {
+		return 0
+	}
+	return float64(b.Recovered()) / float64(len(b.Trials))
+}
+
+// draw is the public per-trial randomness baked into a trial's programs:
+// the attacker-chosen state (probed sets) and the trial's environment
+// (noise-work amounts, noise seed). The measurement and its calibration
+// runs share one draw — the attacker replays its exact environment with
+// known inputs — so layout and fetch effects cancel in the classifier.
+type draw struct {
+	seed0    int64 // noise-chain seed
+	noisePre int   // public noise ops outside the measured windows
+	noiseWin int   // public noise ops inside the measured windows
+	la, lb   int   // prime+probe: the two probed DL1 line indices
+}
+
+// noisePreMax bounds the out-of-window public noise work per trial. It
+// varies alignment, predictor history, and fetch phase between trials
+// without touching the measured segments.
+const noisePreMax = 24
+
+// cacheProbeLines is the pool of DL1 line offsets the prime+probe attacker
+// draws its two probed sets from: [cacheProbeMin, cacheProbeMin+cacheProbePool).
+// The pool stays clear of the marker array's set and of the sets aliased
+// by the result block (see cacheProgram).
+const (
+	cacheProbeMin  = 16
+	cacheProbePool = 224
+)
+
+func newDraw(rng *rand.Rand, p Params) draw {
+	d := draw{
+		seed0:    int64(rng.Intn(1 << 20)),
+		noisePre: rng.Intn(noisePreMax + 1),
+		noiseWin: rng.Intn(p.Noise + 1),
+	}
+	d.la = cacheProbeMin + rng.Intn(cacheProbePool)
+	d.lb = cacheProbeMin + rng.Intn(cacheProbePool)
+	for d.lb == d.la {
+		d.lb = cacheProbeMin + rng.Intn(cacheProbePool)
+	}
+	return d
+}
+
+// trialRNG derives the deterministic per-trial stream. It depends only on
+// (seed, trial index), so the fixed and random TVLA batches draw identical
+// noise and attacker state and differ only in the secret.
+func trialRNG(seed int64, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ (int64(trial)+1)*0x5E3779B97F4A7C15))
+}
+
+// secretRNG is the separate stream secrets come from, so adding or
+// removing a noise draw never changes which secrets a seed produces.
+func secretRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*0x51F2B7 + 11))
+}
+
+// Run executes the batch: per trial it builds and runs the measurement
+// program plus two calibration programs (attacker dry runs with known
+// branch input 0 and 1 under fresh environmental noise), classifies the
+// measurement against the calibration pair, and records the observation
+// vector and guess.
+func Run(p Params) (*Batch, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	b := &Batch{Params: p, Columns: columns(p.Kind)}
+	secRng := secretRNG(p.Seed)
+	for t := 0; t < p.Trials; t++ {
+		secret := uint64(secRng.Intn(2))
+		if p.FixedSecret >= 0 {
+			secret = uint64(p.FixedSecret) & 1
+		}
+		c0, c1, err := calibPair(p, t)
+		if err != nil {
+			return nil, err
+		}
+		b.Trials = append(b.Trials, makeTrial(p.Kind, secret, c0, c1))
+	}
+	return b, nil
+}
+
+// calibPair runs trial t's two calibration programs — replays of the
+// trial's exact environment (same draw, so the same program layout and
+// noise) with each known input. Code placement and fetch effects cancel
+// exactly between them, leaving only the microarchitectural signal — or,
+// under SeMPE, nothing, in which case the classifier degenerates to a
+// secret-independent tie.
+func calibPair(p Params, t int) (c0, c1 []float64, err error) {
+	d := newDraw(trialRNG(p.Seed, t), p)
+	if c0, err = runTrial(p, d, 0); err != nil {
+		return nil, nil, fmt.Errorf("attack %s/%s trial %d calib0: %w", p.Kind, ArchName(p.Secure), t, err)
+	}
+	if c1, err = runTrial(p, d, 1); err != nil {
+		return nil, nil, fmt.Errorf("attack %s/%s trial %d calib1: %w", p.Kind, ArchName(p.Secure), t, err)
+	}
+	return c0, c1, nil
+}
+
+// makeTrial assembles one trial from its calibration pair. The
+// measurement run is the same deterministic program as the matching
+// calibration (same draw, same secret), so its observation is that
+// calibration's — selected, not re-simulated.
+// TestBaselineObservationsDiffer and TestSeMPEObservationsSecretIndependent
+// pin the equality this relies on at the runTrial level.
+//
+// The appended derived columns are the attacker's post-processing: the
+// recovery statistic centered on the calibration midpoint (cancels the
+// trial's layout- and fetch-dependent baseline, leaving the signed
+// microarchitectural signal), and its sign (the decoded verdict). These
+// are what make the TVLA t saturate on a leaking target: the raw columns'
+// inter-trial variance is calibration noise, not signal.
+func makeTrial(k Kind, secret uint64, c0, c1 []float64) Trial {
+	recCol := recoveryColumn(k)
+	src := c0
+	if secret == 1 {
+		src = c1
+	}
+	obs := append([]float64(nil), src...)
+	mid := (c0[recCol] + c1[recCol]) / 2
+	centered := obs[recCol] - mid
+	sign := 0.0
+	switch {
+	case centered > 0:
+		sign = 1
+	case centered < 0:
+		sign = -1
+	}
+	obs = append(obs, centered, sign)
+	return Trial{
+		Secret: secret,
+		Obs:    obs,
+		Guess:  classify(obs[recCol], c0[recCol], c1[recCol]),
+	}
+}
+
+// classify is the attacker's nearest-calibration classifier on the
+// recovery statistic. Ties (including the fully degenerate SeMPE case
+// where measurement and both calibrations coincide) resolve to 0, which
+// keeps the guess independent of the secret when there is no signal.
+func classify(x, c0, c1 float64) uint64 {
+	d0, d1 := x-c0, x-c1
+	if d0 < 0 {
+		d0 = -d0
+	}
+	if d1 < 0 {
+		d1 = -d1
+	}
+	if d1 < d0 {
+		return 1
+	}
+	return 0
+}
+
+// columns names the observation vector per attacker. The last two are the
+// derived post-processing columns appended by Run.
+func columns(k Kind) []string {
+	switch k {
+	case BPProbe:
+		return []string{"probe-cycles", "total-cycles", "probe-centered", "probe-sign"}
+	case PrimeProbe:
+		return []string{"probe-a-cycles", "probe-b-cycles", "probe-diff", "total-cycles", "diff-centered", "diff-sign"}
+	}
+	panic("attack: unknown kind")
+}
+
+// recoveryColumn indexes the observation column the classifier uses: the
+// probe-segment time for the predictor attack, the per-set probe
+// difference for prime+probe.
+func recoveryColumn(k Kind) int {
+	switch k {
+	case BPProbe:
+		return 0
+	case PrimeProbe:
+		return 2
+	}
+	panic("attack: unknown kind")
+}
+
+// signColumn indexes the decoded-sign column (always last) — the
+// mutual-information estimate runs over it.
+func signColumn(k Kind) int { return len(columns(k)) - 1 }
+
+// runTrial builds, compiles, and runs one attacker program and extracts
+// the observation vector from its marker timestamps.
+func runTrial(p Params, d draw, secret uint64) ([]float64, error) {
+	var prog *lang.Program
+	wantStamps := 0
+	switch p.Kind {
+	case BPProbe:
+		prog = bpProgram(d, secret)
+		wantStamps = 4
+	case PrimeProbe:
+		prog = cacheProgram(d, secret)
+		wantStamps = 3
+	default:
+		return nil, fmt.Errorf("unknown attacker kind %d", int(p.Kind))
+	}
+	mode, cfg := compile.Plain, pipeline.DefaultConfig()
+	if p.Secure {
+		mode, cfg = compile.SeMPE, pipeline.SecureConfig()
+	}
+	out, err := compile.Compile(prog, mode)
+	if err != nil {
+		return nil, err
+	}
+	mrk, ok := out.ArrayAddrs[markerArray]
+	if !ok {
+		return nil, fmt.Errorf("program has no %q marker array", markerArray)
+	}
+	var stamps []uint64
+	obs, _, err := leak.ObserveWith(cfg, out.Prog, func(c *pipeline.Core) {
+		c.MemWatch = func(addr uint64, write bool, cycle uint64) {
+			if write && addr == mrk {
+				stamps = append(stamps, cycle)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(stamps) != wantStamps {
+		return nil, fmt.Errorf("got %d marker stamps, want %d", len(stamps), wantStamps)
+	}
+	total := float64(obs.Cycles)
+	switch p.Kind {
+	case BPProbe:
+		// stamps = [victim start, victim end, probe start, probe end].
+		return []float64{float64(stamps[3] - stamps[2]), total}, nil
+	default: // PrimeProbe
+		// stamps = [probe start, after set-A reload, after set-B reload].
+		tA := float64(stamps[1] - stamps[0])
+		tB := float64(stamps[2] - stamps[1])
+		return []float64{tA, tB, tA - tB, total}, nil
+	}
+}
+
+// markerArray names the one-line array whose committed stores timestamp
+// the measured segments. Declared first so it owns the first data line and
+// its cache set never collides with the probed sets.
+const markerArray = "mrk"
+
+// noiseOps appends n cheap dependent ALU operations on the public noise
+// chain nv — about two cycles each, so in-window jitter stays well under
+// the microarchitectural signals (a ~8-cycle mispredict flush, a
+// >=12-cycle probe miss).
+func noiseOps(n int) []lang.Stmt {
+	out := make([]lang.Stmt, 0, n)
+	for j := 0; j < n; j++ {
+		out = append(out, lang.Set("nv",
+			lang.B(lang.Add, lang.V("nv"), lang.B(lang.Shr, lang.V("nv"), lang.N(3)))))
+	}
+	return out
+}

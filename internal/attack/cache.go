@@ -1,0 +1,87 @@
+package attack
+
+import "repro/internal/lang"
+
+// The prime+probe array is three DL1-sized regions of 256 lines each.
+// Element R_k[i] = parr[k*cacheRegionElems + 8*i] lives exactly 256 cache
+// lines after R_{k-1}[i], so all three map to the same DL1 set (the DL1 is
+// 32 KiB, 2-way, 64-byte lines: 256 sets): R0/R1 are the attacker's two
+// priming ways and R2 is the victim's conflicting line.
+const (
+	cacheRegionLines = 256
+	cacheRegionElems = cacheRegionLines * 8 // 8 words per 64-byte line
+)
+
+// cacheProgram builds the prime+probe trial against a secret-selected
+// victim load.
+//
+//	prime:  load R0[la], R1[la], R0[lb], R1[lb] — both ways of the two
+//	        probed sets are attacker lines, R0 older (LRU victim).
+//	victim: if (secret) load R2[la] else load R2[lb] — on the baseline
+//	        exactly one path executes, evicting R0 from exactly one set.
+//	probe:  reload R0[la] and R0[lb], each bracketed by a marker store;
+//	        the evicted one misses (>= L2 latency), the other hits.
+//
+// Each probe load's address carries a dummy data dependency on the
+// previous load's value ("& 0"), which serializes the probe chain behind
+// the victim so the miss latency lands inside the measured windows instead
+// of hiding under earlier out-of-order work. Under SeMPE both victim paths
+// execute regardless of the secret, so both probed sets are evicted and
+// the per-set probe difference carries no information.
+func cacheProgram(d draw, secret uint64) *lang.Program {
+	la8, lb8 := int64(8*d.la), int64(8*d.lb)
+	// dep adds a dummy dependency on the accumulator so the out-of-order
+	// backend cannot reorder the prime/victim/probe protocol: each access
+	// address waits for the previous access's value.
+	dep := func(idx int64, on string) lang.Expr {
+		return lang.B(lang.Add, lang.N(idx), lang.B(lang.And, lang.V(on), lang.N(0)))
+	}
+	prime := func(idx int64) lang.Stmt {
+		return lang.Set("acc", lang.B(lang.Add, lang.V("acc"), lang.At("parr", dep(idx, "acc"))))
+	}
+
+	var body []lang.Stmt
+	body = append(body,
+		prime(la8),
+		prime(cacheRegionElems+la8),
+		prime(lb8),
+		prime(cacheRegionElems+lb8),
+	)
+	body = append(body, noiseOps(d.noisePre)...)
+	body = append(body, lang.Set("vv", lang.N(0)))
+	body = append(body, lang.SecretIf(lang.B(lang.And, lang.V("s"), lang.N(1)),
+		[]lang.Stmt{lang.Set("vv", lang.At("parr", dep(2*cacheRegionElems+la8, "acc")))},
+		[]lang.Stmt{lang.Set("vv", lang.At("parr", dep(2*cacheRegionElems+lb8, "acc")))},
+	))
+	body = append(body, lang.Put(markerArray, lang.N(0), lang.N(1))) // probe start
+	body = append(body, noiseOps(d.noiseWin)...)
+	body = append(body, lang.Set("p1", lang.At("parr", dep(la8, "vv"))))
+	body = append(body, lang.Put(markerArray, lang.N(0), lang.N(2))) // after set-A reload
+	body = append(body, noiseOps(d.noiseWin)...)
+	body = append(body, lang.Set("p2", lang.At("parr", dep(lb8, "p1"))))
+	body = append(body, lang.Put(markerArray, lang.N(0), lang.N(3))) // after set-B reload
+	body = append(body, lang.Set("acc", lang.B(lang.Add, lang.V("acc"), lang.V("p2"))))
+
+	return &lang.Program{
+		Name: "attack_cache",
+		Vars: []*lang.VarDecl{
+			{Name: "s", Init: int64(secret & 1), Secret: true},
+			{Name: "acc", Init: 1},
+			{Name: "nv", Init: d.seed0},
+			{Name: "vv"},
+			{Name: "p1"},
+			{Name: "p2"},
+		},
+		// The marker array is declared first so it owns the data segment's
+		// first line; parr starts one line later, and the probed line pool
+		// [cacheProbeMin, cacheProbeMin+cacheProbePool) keeps every probed
+		// set clear of the marker's set and of the result block (whose
+		// lines alias parr's first lines: the array spans exactly 3*256
+		// lines, a multiple of the DL1 set count).
+		Arrays: []*lang.ArrayDecl{
+			{Name: markerArray, Len: 8},
+			{Name: "parr", Len: 3 * cacheRegionElems},
+		},
+		Body: body,
+	}
+}

@@ -242,6 +242,11 @@ func (t *TAGE) pushHistory(taken bool) {
 	}
 }
 
+// BaseCounter exposes the bimodal base counter for the branch at pc — the
+// observability hook internal/attack's tests use to assert what predictor
+// state a victim run left behind. Read-only.
+func (t *TAGE) BaseCounter(pc uint64) int8 { return t.base[pc&t.baseMask] }
+
 // MispredictRate returns the fraction of mispredicted lookups.
 func (t *TAGE) MispredictRate() float64 {
 	if t.Lookups == 0 {

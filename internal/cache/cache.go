@@ -171,6 +171,27 @@ func (c *Cache) Contains(addr uint64) bool {
 	return false
 }
 
+// ProbeLatency returns the latency a demand access to addr would observe
+// right now, without changing any cache state (no fill, no LRU update, no
+// stats): the hit latency when the line is resident, otherwise the hit
+// latency plus the next level's probed latency. It is the read-only state
+// oracle the attack lab's tests use to confirm primed and evicted lines
+// (see internal/attack's prime+probe test). An unknown custom level
+// cannot be probed statelessly and contributes zero.
+func (c *Cache) ProbeLatency(addr uint64) int {
+	if c.Contains(addr) {
+		return c.hitLatency
+	}
+	next := 0
+	switch n := c.next.(type) {
+	case *Cache:
+		next = n.ProbeLatency(addr)
+	case *MainMemory:
+		next = n.Latency
+	}
+	return c.hitLatency + next
+}
+
 // Prefetch installs the line containing addr without charging any demand
 // latency (fill bandwidth is not modeled). It still propagates to the next
 // level so inclusive behavior and L2 stats stay sensible.

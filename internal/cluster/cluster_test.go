@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync/atomic"
 	"testing"
 
@@ -285,5 +286,77 @@ func TestAblationThroughCluster(t *testing.T) {
 	}
 	if got, want := stableJSON(t, dist), stableJSON(t, serial); got != want {
 		t.Errorf("distributed ablation differs from serial:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestSpectreThroughCluster is the attack lab's distribution acceptance
+// check: the spectre sweep sharded across two local workers renders
+// byte-identical stable JSON to the serial engine run, and its typed
+// assessment rows survive the wire codec exactly.
+func TestSpectreThroughCluster(t *testing.T) {
+	sc := lookup(t, "spectre")
+	spec := scenario.Spec{Quick: true, Params: map[string]string{"trials": "12"}}
+
+	serialSpec := spec
+	serialSpec.Workers = 1
+	serial, err := scenario.Run(sc, serialSpec, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := cluster.New(cluster.Options{
+		Workers:   []string{startWorker(t).URL, startWorker(t).URL},
+		ShardSize: 1,
+	})
+	dist, rep, err := co.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points != 4 || rep.Shards != 4 {
+		t.Errorf("report = %+v, want 4 points in 4 shards", rep)
+	}
+	got, want := stableJSON(t, dist), stableJSON(t, serial)
+	if got != want {
+		t.Errorf("distributed spectre stable JSON differs from serial:\n--- serial ---\n%s\n--- distributed ---\n%s", want, got)
+	}
+	for i := range serial.Rows {
+		if !reflect.DeepEqual(serial.Rows[i], dist.Rows[i]) {
+			t.Errorf("row %d: serial %+v != distributed %+v", i, serial.Rows[i], dist.Rows[i])
+		}
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	good := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"  ", nil},
+		{"http://a:1", []string{"http://a:1"}},
+		{"http://a:1, http://b:2", []string{"http://a:1", "http://b:2"}},
+	}
+	for _, c := range good {
+		got, err := cluster.ParseWorkers(c.in)
+		if err != nil {
+			t.Errorf("ParseWorkers(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseWorkers(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	bad := []string{
+		"http://a:1,,http://b:2",
+		"http://a:1,",
+		",http://a:1",
+		"http://a:1,http://a:1",
+		"http://a:1,http://a:1/",
+		"http://a:1, http://a:1 ",
+	}
+	for _, in := range bad {
+		if _, err := cluster.ParseWorkers(in); err == nil {
+			t.Errorf("ParseWorkers(%q): no error", in)
+		}
 	}
 }

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// Scenario parameter parsing must fail loudly with the offending parameter
+// named — never fall back to a silently-applied zero value. Covered edge
+// cases per sweep: an unknown key (typo), and a wrong value type for each
+// typed parameter.
+func TestScenarioParamEdgeCases(t *testing.T) {
+	type c struct {
+		sweep  string
+		params map[string]string
+		want   string // substring the error must contain
+	}
+	cases := []c{
+		// Unknown keys: the classic singular/plural typo per sweep.
+		{"fig10", map[string]string{"kind": "ones"}, "unknown parameter"},
+		{"fig8", map[string]string{"size": "tiny"}, "unknown parameter"},
+		{"leakmatrix", map[string]string{"secret": "3"}, "unknown parameter"},
+		{"ablation", map[string]string{"slot": "4"}, "unknown parameter"},
+		{"attack", map[string]string{"trial": "9"}, "unknown parameter"},
+		// Wrong value types, each naming the parameter.
+		{"fig10", map[string]string{"ws": "one,two"}, "ws:"},
+		{"fig10", map[string]string{"iters": "3.5"}, "iters:"},
+		{"fig10", map[string]string{"kinds": "fibonachos"}, "kinds:"},
+		{"fig10", map[string]string{"secret": "-1"}, "secret:"},
+		{"fig8", map[string]string{"sparsity": "half"}, "sparsity:"},
+		{"fig8", map[string]string{"seed": "abc"}, "seed:"},
+		{"leakmatrix", map[string]string{"secrets": "zero"}, "secrets:"},
+		{"leakmatrix", map[string]string{"ws": ""}, ""}, // empty axis: allowed, must not error
+		{"ablation", map[string]string{"bws": "wide"}, "bws:"},
+		{"ablation", map[string]string{"w": "deep"}, "w:"},
+		{"attack", map[string]string{"archs": "citadel"}, "archs:"},
+		{"attack", map[string]string{"noise": "lots"}, "noise:"},
+		// Out-of-range values must fail loudly too, not fall back to a
+		// default under a key that misdescribes the computed result.
+		{"attack", map[string]string{"trials": "0"}, "trials:"},
+		{"attack", map[string]string{"noise": "-1"}, "noise:"},
+	}
+	specOf := map[string]func(scenario.Spec) error{
+		"fig10":      func(s scenario.Spec) error { _, err := fig10SpecOf(s); return err },
+		"fig8":       func(s scenario.Spec) error { _, err := fig8SpecOf(s); return err },
+		"leakmatrix": func(s scenario.Spec) error { _, err := leakSpecOf(s); return err },
+		"ablation":   func(s scenario.Spec) error { _, err := ablationSpecOf(s); return err },
+		"attack":     func(s scenario.Spec) error { _, err := attackSpecOf(s); return err },
+	}
+	for _, tc := range cases {
+		err := specOf[tc.sweep](scenario.Spec{Params: tc.params})
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s %v: unexpected error %v", tc.sweep, tc.params, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s %v: no error, want one naming %q", tc.sweep, tc.params, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s %v: error %q does not name the parameter (%q)", tc.sweep, tc.params, err, tc.want)
+		}
+	}
+}
+
+// A bad parameter must also surface through the engine (axes expansion),
+// not only through the typed spec helpers.
+func TestBadParamFailsThroughEngine(t *testing.T) {
+	sc, ok := scenario.Lookup("spectre")
+	if !ok {
+		t.Fatal("spectre not registered")
+	}
+	_, err := scenario.Run(sc, scenario.Spec{Params: map[string]string{"trials": "NaN"}}, scenario.RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "trials:") {
+		t.Errorf("engine run error = %v, want one naming trials", err)
+	}
+}
+
+// Malformed -param flags (no '=', empty key) are rejected at the flag
+// layer, before any scenario sees them.
+func TestParamFlagMalformed(t *testing.T) {
+	p := scenario.ParamFlag{}
+	for _, bad := range []string{"ws", "=3", ""} {
+		if err := p.Set(bad); err == nil {
+			t.Errorf("ParamFlag.Set(%q): no error", bad)
+		}
+	}
+	if err := p.Set("ws=1,2"); err != nil {
+		t.Errorf("ParamFlag.Set(valid): %v", err)
+	}
+	if err := p.Set("empty="); err != nil {
+		t.Errorf("ParamFlag.Set with empty value should be allowed (explicit empty axis): %v", err)
+	}
+	if p["ws"] != "1,2" || p["empty"] != "" {
+		t.Errorf("ParamFlag contents wrong: %v", p)
+	}
+}

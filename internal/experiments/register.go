@@ -68,6 +68,22 @@ func init() {
 		},
 	})
 	scenario.Register(&scenario.Scenario{
+		Name:        "spectre",
+		Description: "attack lab: Spectre-PHT predictor probe + DL1 prime+probe secret recovery, baseline vs. SeMPE; params: attackers, archs, trials, seed, noise",
+		Sweep:       attackSweep,
+		Render: func(_ scenario.Spec, rows []any) []*stats.Table {
+			return []*stats.Table{RenderSpectre(attackRows(rows))}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
+		Name:        "tvla",
+		Description: "attack lab: TVLA fixed-vs-random leakage assessment per observable (same sweep as spectre); params: attackers, archs, trials, seed, noise",
+		Sweep:       attackSweep,
+		Render: func(_ scenario.Spec, rows []any) []*stats.Table {
+			return []*stats.Table{RenderTVLA(attackRows(rows))}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
 		Name:        "leakmatrix",
 		Description: "security sweep: observable-channel distinguisher, baseline vs. SeMPE (kernels x W); params: kinds, ws, iters, secrets",
 		Sweep:       leakSweep,

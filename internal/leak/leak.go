@@ -34,7 +34,18 @@ type Observation struct {
 // Observe runs prog to completion on a core with the given configuration
 // and collects the observation.
 func Observe(cfg pipeline.Config, prog *isa.Program) (Observation, *pipeline.Core, error) {
+	return ObserveWith(cfg, prog, nil)
+}
+
+// ObserveWith is Observe with a pre-run configuration callback: setup (when
+// non-nil) receives the fresh core before the run starts, which is where
+// the attack lab installs its commit-time watch hooks (Core.MemWatch,
+// Core.BranchWatch) to turn one run into per-segment timings.
+func ObserveWith(cfg pipeline.Config, prog *isa.Program, setup func(*pipeline.Core)) (Observation, *pipeline.Core, error) {
 	core := pipeline.New(cfg, prog)
+	if setup != nil {
+		setup(core)
+	}
 	if err := core.Run(); err != nil {
 		return Observation{}, nil, err
 	}

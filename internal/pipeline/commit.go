@@ -47,12 +47,18 @@ func (c *Core) retire() error {
 			if c.TraceCommits {
 				c.MemTrace = append(c.MemTrace, u.memAddr<<1|1)
 			}
+			if c.MemWatch != nil {
+				c.MemWatch(u.memAddr, true, c.cycle)
+			}
 			c.sq = removeBySeq(c.sq, u.seq)
 		}
 		if u.isLoad {
 			c.memDigest = fnvMix(c.memDigest, u.memAddr<<1)
 			if c.TraceCommits {
 				c.MemTrace = append(c.MemTrace, u.memAddr<<1)
+			}
+			if c.MemWatch != nil {
+				c.MemWatch(u.memAddr, false, c.cycle)
 			}
 			c.lq = removeBySeq(c.lq, u.seq)
 		}
@@ -65,6 +71,9 @@ func (c *Core) retire() error {
 		case u.inst.Op.IsBranch():
 			c.Stats.Branches++
 			c.BP.UpdateBranch(u.pc, u.actualTaken)
+			if c.BranchWatch != nil {
+				c.BranchWatch(u.pc, u.actualTaken, u.mispredict, c.cycle)
+			}
 		case u.inst.Op == isa.OpJalr:
 			c.Stats.IndirectJumps++
 			if !(u.inst.Rd == isa.RZ && u.inst.Ra == isa.LR) {

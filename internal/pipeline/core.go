@@ -86,6 +86,17 @@ type Core struct {
 	CommitPCs    []uint64
 	MemTrace     []uint64
 
+	// Commit-time observability hooks for the attack lab (internal/attack).
+	// MemWatch, when non-nil, is invoked for every committed load and store
+	// with the access address, kind, and commit cycle — the harness installs
+	// it to timestamp marker stores, turning the committed-access stream
+	// into per-segment timings an attacker program "measures". BranchWatch,
+	// when non-nil, sees every committed conditional branch with its outcome
+	// and whether it mispredicted. Both are nil in normal runs and cost one
+	// nil check per committed op.
+	MemWatch    func(addr uint64, write bool, cycle uint64)
+	BranchWatch func(pc uint64, taken, mispredicted bool, cycle uint64)
+
 	lastCommitCycle uint64
 
 	Stats Stats

@@ -1,0 +1,72 @@
+// The store garbage collector. Entries are never overwritten in place — a
+// simulator bump changes CodeVersion and therefore every address — so a
+// long-lived result directory accumulates entries no current process can
+// ever hit. GC walks the directory and prunes them.
+package store
+
+import (
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// GCReport summarizes one collection pass.
+type GCReport struct {
+	Scanned        int `json:"scanned"`         // entry files examined
+	RemovedVersion int `json:"removed_version"` // embedded code version != current
+	RemovedAge     int `json:"removed_age"`     // older than the age cutoff
+	RemovedCorrupt int `json:"removed_corrupt"` // undecodable envelope
+	Kept           int `json:"kept"`
+}
+
+// Removed is the total number of entries deleted.
+func (r GCReport) Removed() int { return r.RemovedVersion + r.RemovedAge + r.RemovedCorrupt }
+
+// GC prunes the store directory: every entry whose embedded code version
+// differs from the store's current version is removed (it can never be
+// addressed again), as is — when maxAge > 0 — every entry whose file is
+// older than maxAge, and every file whose envelope does not decode.
+// Current-version entries within the age cutoff are untouched. Concurrent
+// readers are safe: removal of a live entry is indistinguishable from a
+// miss, and writers re-create entries atomically.
+func (s *Store) GC(maxAge time.Duration) (GCReport, error) {
+	var rep GCReport
+	now := time.Now()
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		rep.Scanned++
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil // raced with a concurrent remove; nothing to do
+		}
+		var e entry
+		if json.Unmarshal(data, &e) != nil {
+			os.Remove(path)
+			rep.RemovedCorrupt++
+			return nil
+		}
+		// The full key is "version|kind|...": everything before the first
+		// separator names the simulator version that wrote the entry.
+		version, _, ok := strings.Cut(e.Key, "|")
+		if !ok || version != s.version {
+			os.Remove(path)
+			rep.RemovedVersion++
+			return nil
+		}
+		if maxAge > 0 {
+			if info, err := d.Info(); err == nil && now.Sub(info.ModTime()) > maxAge {
+				os.Remove(path)
+				rep.RemovedAge++
+				return nil
+			}
+		}
+		rep.Kept++
+		return nil
+	})
+	return rep, err
+}

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestGCPrunesStaleVersions(t *testing.T) {
+	dir := t.TempDir()
+	old, err := OpenVersion(dir, "sempe-sim-v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range [][2]string{{"a", `1`}, {"b", `2`}, {"c", `3`}} {
+		if err := old.Put(kv[0], []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+		if err := cur.Put(kv[0], []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := cur.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 6 || rep.RemovedVersion != 3 || rep.Kept != 3 || rep.RemovedAge != 0 {
+		t.Fatalf("report = %+v, want 6 scanned, 3 removed by version, 3 kept", rep)
+	}
+	// Current entries survive and still hit; stale ones are gone.
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok := cur.Get(k); !ok {
+			t.Errorf("current entry %q lost by GC", k)
+		}
+		if _, ok := old.Get(k); ok {
+			t.Errorf("stale-version entry %q survived GC", k)
+		}
+	}
+	// A second pass finds nothing to do.
+	rep, err = cur.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed() != 0 || rep.Kept != 3 {
+		t.Fatalf("second pass report = %+v, want nothing removed", rep)
+	}
+}
+
+func TestGCAgeCutoff(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fresh", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("aged", []byte(`2`)); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate the aged entry's file.
+	past := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(s.path("aged"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.GC(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemovedAge != 1 || rep.Kept != 1 {
+		t.Fatalf("report = %+v, want 1 removed by age, 1 kept", rep)
+	}
+	if _, ok := s.Get("fresh"); !ok {
+		t.Error("fresh entry lost")
+	}
+	if _, ok := s.Get("aged"); ok {
+		t.Error("aged entry survived")
+	}
+	// maxAge 0 disables the age cutoff.
+	if err := s.Put("aged2", []byte(`3`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(s.path("aged2"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = s.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed() != 0 {
+		t.Fatalf("report = %+v, want nothing removed with maxAge 0", rep)
+	}
+}
+
+func TestGCRemovesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("ok", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	junk := s.path("junk")
+	if err := os.MkdirAll(filepath.Dir(junk), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(junk, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemovedCorrupt != 1 || rep.Kept != 1 {
+		t.Fatalf("report = %+v, want 1 corrupt removed, 1 kept", rep)
+	}
+}

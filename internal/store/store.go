@@ -29,7 +29,7 @@ import (
 // from a previous simulator. The cluster shard protocol carries the same
 // string, so a mixed-version fleet fails loudly instead of merging
 // incompatible rows.
-const CodeVersion = "sempe-sim-v3"
+const CodeVersion = "sempe-sim-v4"
 
 // Counters reports store traffic. Corrupt counts entries that failed
 // validation on read (bad checksum, truncation, key mismatch) and were
