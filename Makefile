@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke sweep serve smoke-cluster smoke-attack clean
+.PHONY: check vet build test race bench bench-smoke sweep serve smoke-cluster smoke-attack smoke-keyextract clean
 
 # check is the tier-1 gate plus a benchmark smoke run.
 check: vet build test bench-smoke
@@ -45,9 +45,11 @@ smoke-cluster:
 	./scripts/cluster_smoke.sh
 
 # smoke-attack runs the attack lab end to end: the baseline must leak the
-# secret (recovery + TVLA), SeMPE must not, and the sharded spectre sweep
-# must merge byte-identically to the serial run. CI runs this too.
-smoke-attack:
+# secret (recovery + TVLA) and extract a 4-bit key from a leaky victim,
+# SeMPE and the constant-time control must not, and the sharded spectre
+# and keyextract sweeps must merge byte-identically to the serial runs.
+# CI runs this too; smoke-keyextract is an alias for discoverability.
+smoke-attack smoke-keyextract:
 	./scripts/attack_smoke.sh
 
 clean:

@@ -10,9 +10,20 @@
 //	sempe-attack -format json
 //	sempe-attack -check                      # exit 1 unless baseline leaks AND SeMPE holds
 //
-// The grid sweep equivalents are the `spectre` and `tvla` scenarios on
-// sempe-bench / sempe-sweep; this binary is for quick interactive runs
-// and the CI attack-smoke job.
+// With -victim the lab switches to multi-bit key extraction: the chosen
+// victim (keyloop, modexp, ctcompare, bit — see internal/victim) is
+// attacked bit by bit over a -bits wide key, optionally with -gap units of
+// uncontrolled activity between train and probe (a weaker attacker):
+//
+//	sempe-attack -victim keyloop -bits 8
+//	sempe-attack -victim modexp -bits 8 -gap 64 -arch baseline
+//	sempe-attack -victim ctcompare -bits 8 -check   # negative control must stay SECURE
+//
+// In extraction mode -check requires every leaky victim to yield its full
+// key on the baseline and every SeMPE (and constant-time) result to stay
+// secure. The grid sweep equivalents are the `spectre`/`tvla` and
+// `keyextract`/`noise` scenarios on sempe-bench / sempe-sweep; this binary
+// is for quick interactive runs and the CI attack-smoke job.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/stattest"
+	"repro/internal/victim"
 )
 
 func main() {
@@ -30,13 +42,29 @@ func main() {
 	var (
 		attackerF = flag.String("attacker", "all", "bp|cache|all")
 		archF     = flag.String("arch", "both", "baseline|sempe|both")
-		trials    = flag.Int("trials", defaults.Trials, "trials per batch")
+		trials    = flag.Int("trials", defaults.Trials, "trials per batch; in extraction mode, trials per bit (default there is 40 unless set)")
 		seed      = flag.Int64("seed", defaults.Seed, "deterministic trial seed")
 		noise     = flag.Int("noise", defaults.Noise, "max in-window public noise ops per trial")
+		victimF   = flag.String("victim", "", "key-extraction mode: victim to attack (see -list-victims)")
+		bits      = flag.Int("bits", 8, "extraction mode: key width in bits")
+		gap       = flag.Int("gap", 0, "extraction mode: units of train-to-probe gap activity (weaker attacker)")
+		keyF      = flag.Int64("key", -1, "extraction mode: pin the true key (-1 = derive from seed)")
+		listVics  = flag.Bool("list-victims", false, "list the registered victims and exit")
 		format    = flag.String("format", "text", "output encoding: text|json")
-		check     = flag.Bool("check", false, "exit 1 unless every baseline attack leaks and every SeMPE attack is secure")
+		check     = flag.Bool("check", false, "exit 1 unless every baseline attack leaks (leaky victims: full key) and every SeMPE attack is secure")
 	)
 	flag.Parse()
+
+	if *listVics {
+		for _, v := range victim.All() {
+			leaky := "leaky"
+			if !v.Leaky() {
+				leaky = "control"
+			}
+			fmt.Printf("%-10s %-8s %s\n", v.Name(), leaky, v.Describe())
+		}
+		return
+	}
 
 	kinds := attack.AllKinds()
 	if *attackerF != "all" {
@@ -58,6 +86,69 @@ func main() {
 	case "text", "json":
 	default:
 		fatal("unknown format %q (want text or json)", *format)
+	}
+
+	if *victimF != "" {
+		v, err := victim.Lookup(*victimF)
+		if err != nil {
+			fatal("%v", err)
+		}
+		// Unless -trials was given explicitly, extraction mode uses the
+		// per-bit default (100 per bit is overkill for a deterministic
+		// simulator; match DefaultKeyParams).
+		extractTrials := attack.DefaultKeyParams(attack.BPProbe, false).Trials
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "trials" {
+				extractTrials = *trials
+			}
+		})
+		var results []attack.KeyRecovery
+		ok := true
+		for _, kind := range kinds {
+			for _, secure := range archs {
+				kr, err := attack.ExtractKey(attack.KeyParams{
+					Kind:   kind,
+					Secure: secure,
+					Victim: v.Name(),
+					Width:  *bits,
+					Trials: extractTrials,
+					Seed:   *seed,
+					Noise:  *noise,
+					Gap:    *gap,
+					Key:    *keyF,
+				})
+				if err != nil {
+					fatal("%v", err)
+				}
+				results = append(results, kr)
+				if !kr.MeetsExpectation(v.Leaky()) {
+					ok = false
+				}
+			}
+		}
+		switch *format {
+		case "json":
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(results); err != nil {
+				fatal("json: %v", err)
+			}
+		default:
+			for _, kr := range results {
+				fmt.Println(kr)
+				for _, b := range kr.Bits {
+					tte := "-"
+					if b.TrialsToExtract >= 0 {
+						tte = fmt.Sprintf("%d", b.TrialsToExtract)
+					}
+					fmt.Printf("    bit %2d: true %d guess %d  acc %5.1f%% (CI %.1f%%..%.1f%%, %d discarded)  recovery %5.1f%%  |t| %.1f  tte %s\n",
+						b.Bit, b.TrueBit, b.Guess, 100*b.Accuracy, 100*b.AccLo, 100*b.AccHi,
+						b.Discarded, 100*b.Recovery, b.MaxAbsT, tte)
+				}
+			}
+		}
+		gate(*check, ok, "expected every leaky victim to yield its full key on the baseline, and every SeMPE or constant-time result to stay secure")
+		return
 	}
 
 	var results []attack.Assessment
@@ -99,16 +190,22 @@ func main() {
 		fmt.Printf("TVLA threshold |t| >= %.1f; recovery 'LEAK' means the 95%% CI clears 50%%\n", stattest.TVLAThreshold)
 	}
 
-	if *check && !ok {
-		fmt.Fprintln(os.Stderr, "sempe-attack: CHECK FAILED: expected every baseline attack to leak and every SeMPE attack to be secure")
-		os.Exit(1)
-	}
-	if *check {
-		fmt.Fprintln(os.Stderr, "sempe-attack: check passed")
-	}
+	gate(*check, ok, "expected every baseline attack to leak and every SeMPE attack to be secure")
 }
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "sempe-attack: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// gate applies -check with the mode's own expectation in the failure
+// message, so a failing CI smoke points at what was actually violated.
+func gate(check, ok bool, expectation string) {
+	if check && !ok {
+		fmt.Fprintf(os.Stderr, "sempe-attack: CHECK FAILED: %s\n", expectation)
+		os.Exit(1)
+	}
+	if check {
+		fmt.Fprintln(os.Stderr, "sempe-attack: check passed")
+	}
 }

@@ -111,9 +111,12 @@ func RunAssessment(p Params) (Assessment, error) {
 	if err := pr.validate(); err != nil {
 		return Assessment{}, err
 	}
+	if err := pr.rejectGap(); err != nil {
+		return Assessment{}, err
+	}
 	fixed := &Batch{Params: pf, Columns: columns(p.Kind)}
 	random := &Batch{Params: pr, Columns: columns(p.Kind)}
-	secRng := secretRNG(p.Seed)
+	secRng := secretRNG(p.effSeed())
 	for t := 0; t < p.Trials; t++ {
 		secret := uint64(secRng.Intn(2))
 		c0, c1, err := calibPair(p, t)

@@ -1,9 +1,9 @@
 // Package attack is the attack lab: concrete microarchitectural attackers
 // that run *attacker programs* on the simulated core against a victim
-// parameterized by a one-bit secret, and measure what a realistic adversary
+// parameterized by a secret, and measure what a realistic adversary
 // measures — per-trial timing vectors, not digest equality.
 //
-// Two attackers are implemented:
+// Two attacker families are implemented:
 //
 //   - BPProbe, a Spectre-PHT-style branch-predictor probe: the victim's
 //     secret branch trains the TAGE bimodal state in place, and the
@@ -15,6 +15,13 @@
 //     both ways of two chosen cache sets, the victim performs one
 //     secret-selected load that evicts the attacker's line from one of
 //     them, and the attacker times a per-set reload.
+//
+// The victim is pluggable (internal/victim): each attacker is a scaffold
+// that wraps a victim's secret-dependent fragment — its setup computation
+// and the attacked bit's condition — in the measurement protocol. A trial
+// batch attacks one bit of a W-bit key; attack.ExtractKey (key.go) walks
+// the whole key bit by bit and aggregates per-bit assessments into a
+// KeyRecovery.
 //
 // Timing is measured the way the paper's threat model allows: marker
 // stores in the attacker program are timestamped at commit through the
@@ -37,6 +44,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/leak"
 	"repro/internal/pipeline"
+	"repro/internal/victim"
 )
 
 // Kind identifies an attacker implementation.
@@ -91,7 +99,10 @@ func ParseArch(s string) (secure bool, err error) {
 	return false, fmt.Errorf("attack: unknown arch %q (have baseline|sempe)", s)
 }
 
-// Params parameterizes one trial batch.
+// Params parameterizes one trial batch — the attack on one bit of a key.
+// The zero values of the victim fields reproduce the PR-4 behavior (the
+// direct one-bit victim, no gap noise), so stored spectre/tvla results
+// stay valid.
 type Params struct {
 	Kind   Kind  `json:"kind"`
 	Secure bool  `json:"secure"` // false = unprotected baseline, true = SeMPE
@@ -107,12 +118,55 @@ type Params struct {
 	// "fixed" batch. Negative means a fresh random bit per trial (the
 	// "random" batch and the recovery experiment).
 	FixedSecret int64 `json:"fixed_secret"`
+	// Victim names the victim implementation (internal/victim); empty
+	// means "bit", the PR-4 direct one-bit victim.
+	Victim string `json:"victim,omitempty"`
+	// Width is the victim's key width in bits; 0 means 1.
+	Width int `json:"width,omitempty"`
+	// Bit is the attacked bit position (0-based, LSB first).
+	Bit int `json:"bit,omitempty"`
+	// KeyPrefix carries the already-recovered key bits below Bit; the
+	// victim's setup runs on them. Bits at and above Bit must be clear.
+	KeyPrefix uint64 `json:"key_prefix,omitempty"`
+	// Gap is the attacker-strength axis: the number of units of dummy
+	// branch/memory activity injected between the victim's training and
+	// the attacker's probe. 0 models the strongest attacker (immediate
+	// probe); larger values model an attacker that cannot schedule its
+	// probe tightly, so uncontrolled activity pollutes predictor and cache
+	// state in between. The activity is deterministic per run but drawn
+	// independently for the live measurement and its calibration replays,
+	// which is what makes it degrade the calibrated classifier.
+	Gap int `json:"gap,omitempty"`
 }
 
 // DefaultParams returns the batch configuration the spectre/tvla scenarios
 // and cmd/sempe-attack start from.
 func DefaultParams(kind Kind, secure bool) Params {
 	return Params{Kind: kind, Secure: secure, Trials: 100, Seed: 1, Noise: 2, FixedSecret: -1}
+}
+
+// width is Width with its documented default applied.
+func (p Params) width() int {
+	if p.Width == 0 {
+		return 1
+	}
+	return p.Width
+}
+
+// victimImpl resolves the victim, defaulting to the direct one-bit victim.
+func (p Params) victimImpl() (victim.Victim, error) {
+	name := p.Victim
+	if name == "" {
+		name = "bit"
+	}
+	return victim.Lookup(name)
+}
+
+// effSeed derives the per-bit trial stream seed: bit 0 (and the whole
+// legacy single-bit path) uses Seed unchanged, so PR-4 batches replay
+// bit-identically; higher bits get independent deterministic streams.
+func (p Params) effSeed() int64 {
+	return p.Seed ^ int64(p.Bit)*0x6A09E667F3BCC909
 }
 
 // validate rejects out-of-range parameters loudly — silently substituting
@@ -129,6 +183,35 @@ func (p Params) validate() error {
 	}
 	if p.Noise < 0 {
 		return fmt.Errorf("attack: noise must be >= 0, have %d", p.Noise)
+	}
+	if p.Gap < 0 {
+		return fmt.Errorf("attack: gap must be >= 0, have %d", p.Gap)
+	}
+	w := p.width()
+	if w < 1 || w > victim.MaxWidth {
+		return fmt.Errorf("attack: width must be in [1,%d], have %d", victim.MaxWidth, w)
+	}
+	if p.Bit < 0 || p.Bit >= w {
+		return fmt.Errorf("attack: bit %d out of range for width %d", p.Bit, w)
+	}
+	if p.KeyPrefix>>uint(p.Bit) != 0 {
+		return fmt.Errorf("attack: key prefix %#x has bits at or above attacked bit %d", p.KeyPrefix, p.Bit)
+	}
+	if _, err := p.victimImpl(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// rejectGap guards the batch entry points (Run, RunAssessment): their
+// trials are built from calibration pairs alone, so the gap axis — whose
+// whole point is a live measurement with an independent gap seed — would
+// be silently inert there. Only the key-extraction engine (ExtractKey)
+// simulates the live measurement; fail loudly rather than overstate a
+// weak attacker as fully calibrated.
+func (p Params) rejectGap() error {
+	if p.Gap > 0 {
+		return fmt.Errorf("attack: gap %d requires the key-extraction engine (ExtractKey); batch runs never simulate the live measurement", p.Gap)
 	}
 	return nil
 }
@@ -190,11 +273,17 @@ func (b *Batch) RecoveryRate() float64 {
 // (noise-work amounts, noise seed). The measurement and its calibration
 // runs share one draw — the attacker replays its exact environment with
 // known inputs — so layout and fetch effects cancel in the classifier.
+// The gap-activity seeds are the exception: the live measurement's gap
+// activity (gapMeas) is drawn independently of the calibration replays'
+// (gapCal), because that activity is exactly what the attacker cannot
+// reproduce.
 type draw struct {
 	seed0    int64 // noise-chain seed
 	noisePre int   // public noise ops outside the measured windows
 	noiseWin int   // public noise ops inside the measured windows
 	la, lb   int   // prime+probe: the two probed DL1 line indices
+	gapCal   int64 // gap-activity seed shared by the calibration replays
+	gapMeas  int64 // gap-activity seed of the live measurement
 }
 
 // noisePreMax bounds the out-of-window public noise work per trial. It
@@ -222,6 +311,12 @@ func newDraw(rng *rand.Rand, p Params) draw {
 	for d.lb == d.la {
 		d.lb = cacheProbeMin + rng.Intn(cacheProbePool)
 	}
+	// Drawn only when the gap axis is active, so legacy (Gap == 0) streams
+	// are untouched and PR-4 batches replay bit-identically.
+	if p.Gap > 0 {
+		d.gapCal = int64(rng.Intn(1 << 20))
+		d.gapMeas = int64(rng.Intn(1 << 20))
+	}
 	return d
 }
 
@@ -247,8 +342,11 @@ func Run(p Params) (*Batch, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	if err := p.rejectGap(); err != nil {
+		return nil, err
+	}
 	b := &Batch{Params: p, Columns: columns(p.Kind)}
-	secRng := secretRNG(p.Seed)
+	secRng := secretRNG(p.effSeed())
 	for t := 0; t < p.Trials; t++ {
 		secret := uint64(secRng.Intn(2))
 		if p.FixedSecret >= 0 {
@@ -265,16 +363,16 @@ func Run(p Params) (*Batch, error) {
 
 // calibPair runs trial t's two calibration programs — replays of the
 // trial's exact environment (same draw, so the same program layout and
-// noise) with each known input. Code placement and fetch effects cancel
-// exactly between them, leaving only the microarchitectural signal — or,
-// under SeMPE, nothing, in which case the classifier degenerates to a
-// secret-independent tie.
+// noise) with each known value of the attacked bit. Code placement and
+// fetch effects cancel exactly between them, leaving only the
+// microarchitectural signal — or, under SeMPE, nothing, in which case the
+// classifier degenerates to a secret-independent tie.
 func calibPair(p Params, t int) (c0, c1 []float64, err error) {
-	d := newDraw(trialRNG(p.Seed, t), p)
-	if c0, err = runTrial(p, d, 0); err != nil {
+	d := newDraw(trialRNG(p.effSeed(), t), p)
+	if c0, err = runTrial(p, d, d.gapCal, p.KeyPrefix); err != nil {
 		return nil, nil, fmt.Errorf("attack %s/%s trial %d calib0: %w", p.Kind, ArchName(p.Secure), t, err)
 	}
-	if c1, err = runTrial(p, d, 1); err != nil {
+	if c1, err = runTrial(p, d, d.gapCal, p.KeyPrefix|1<<uint(p.Bit)); err != nil {
 		return nil, nil, fmt.Errorf("attack %s/%s trial %d calib1: %w", p.Kind, ArchName(p.Secure), t, err)
 	}
 	return c0, c1, nil
@@ -364,17 +462,24 @@ func recoveryColumn(k Kind) int {
 // mutual-information estimate runs over it.
 func signColumn(k Kind) int { return len(columns(k)) - 1 }
 
-// runTrial builds, compiles, and runs one attacker program and extracts
-// the observation vector from its marker timestamps.
-func runTrial(p Params, d draw, secret uint64) ([]float64, error) {
+// runTrial builds, compiles, and runs one attacker program — the victim's
+// fragment for (key, width, bit) wrapped in the attacker's measurement
+// scaffold, with gap activity seeded by gapSeed — and extracts the
+// observation vector from its marker timestamps.
+func runTrial(p Params, d draw, gapSeed int64, key uint64) ([]float64, error) {
+	v, err := p.victimImpl()
+	if err != nil {
+		return nil, err
+	}
+	frag := v.Fragment(key, p.width(), p.Bit)
 	var prog *lang.Program
 	wantStamps := 0
 	switch p.Kind {
 	case BPProbe:
-		prog = bpProgram(d, secret)
+		prog = bpProgram(frag, d, gapSeed, p.Gap)
 		wantStamps = 4
 	case PrimeProbe:
-		prog = cacheProgram(d, secret)
+		prog = cacheProgram(frag, d, gapSeed, p.Gap)
 		wantStamps = 3
 	default:
 		return nil, fmt.Errorf("unknown attacker kind %d", int(p.Kind))
@@ -434,4 +539,46 @@ func noiseOps(n int) []lang.Stmt {
 			lang.B(lang.Add, lang.V("nv"), lang.B(lang.Shr, lang.V("nv"), lang.N(3)))))
 	}
 	return out
+}
+
+// gapLoop builds the attacker-strength gap activity: dummy branch +
+// memory work between the victim's training and the attacker's probe.
+// Each unit advances a public LCG, takes a data-dependent public branch
+// on one of its bits (predictor-table and history pressure), and loads
+// one element computed by `index` from `arr` (cache pressure). The LCG
+// seed comes from the trial draw — independently for the measurement and
+// its calibration replays — so the activity is deterministic per run but
+// uncorrelated between them, exactly like background activity a weak
+// attacker cannot control. `trip` is the trip-count expression (usually
+// the constant n; the bp scaffold gates it branch-free on its iteration
+// counter so the activity runs only between train and probe, not again
+// after the probe).
+func gapLoop(n int, trip lang.Expr, arr string, index func(gv lang.Expr) lang.Expr) []lang.Stmt {
+	if n <= 0 {
+		return nil
+	}
+	return []lang.Stmt{
+		lang.Set("gj", trip),
+		lang.Loop(lang.B(lang.Gt, lang.V("gj"), lang.N(0)), []lang.Stmt{
+			lang.Set("gv", lang.B(lang.Add,
+				lang.B(lang.Mul, lang.V("gv"), lang.N(48271)), lang.N(11))),
+			lang.PublicIf(lang.B(lang.And, lang.B(lang.Shr, lang.V("gv"), lang.N(5)), lang.N(1)),
+				[]lang.Stmt{lang.Set("ga", lang.B(lang.Add, lang.B(lang.Mul, lang.V("ga"), lang.N(3)), lang.N(1)))},
+				[]lang.Stmt{lang.Set("ga", lang.B(lang.Add, lang.B(lang.Mul, lang.V("ga"), lang.N(5)), lang.N(7)))}),
+			lang.Set("gl", index(lang.B(lang.And, lang.B(lang.Shr, lang.V("gv"), lang.N(3)), lang.N(0x7FFF)))),
+			lang.Set("ga", lang.B(lang.Add, lang.V("ga"), lang.At(arr, lang.V("gl")))),
+			lang.Set("gj", lang.B(lang.Sub, lang.V("gj"), lang.N(1))),
+		}),
+	}
+}
+
+// gapVars declares the gap activity's scalars; gapSeed differs between the
+// live measurement and the calibration replays.
+func gapVars(gapSeed int64) []*lang.VarDecl {
+	return []*lang.VarDecl{
+		{Name: "gv", Init: gapSeed},
+		{Name: "gj"},
+		{Name: "gl"},
+		{Name: "ga", Init: 3},
+	}
 }

@@ -77,11 +77,11 @@ func TestSeMPEObservationsSecretIndependent(t *testing.T) {
 		for trial := 0; trial < 8; trial++ {
 			rng := trialRNG(p.Seed, trial)
 			d := newDraw(rng, p)
-			o0, err := runTrial(p, d, 0)
+			o0, err := runTrial(p, d, d.gapCal, 0)
 			if err != nil {
 				t.Fatalf("%v trial %d: %v", kind, trial, err)
 			}
-			o1, err := runTrial(p, d, 1)
+			o1, err := runTrial(p, d, d.gapCal, 1)
 			if err != nil {
 				t.Fatalf("%v trial %d: %v", kind, trial, err)
 			}
@@ -104,11 +104,11 @@ func TestBaselineObservationsDiffer(t *testing.T) {
 		for trial := 0; trial < 8; trial++ {
 			rng := trialRNG(p.Seed, trial)
 			d := newDraw(rng, p)
-			o0, err := runTrial(p, d, 0)
+			o0, err := runTrial(p, d, d.gapCal, 0)
 			if err != nil {
 				t.Fatalf("%v trial %d: %v", kind, trial, err)
 			}
-			o1, err := runTrial(p, d, 1)
+			o1, err := runTrial(p, d, d.gapCal, 1)
 			if err != nil {
 				t.Fatalf("%v trial %d: %v", kind, trial, err)
 			}
@@ -218,6 +218,17 @@ func TestRunRejectsBadParams(t *testing.T) {
 	p.Noise = -1
 	if _, err := Run(p); err == nil {
 		t.Error("Run accepted noise=-1")
+	}
+	// The gap axis only does anything through ExtractKey's live
+	// measurement; the batch entry points must refuse it rather than
+	// silently report a fully-calibrated attacker.
+	p = DefaultParams(BPProbe, false)
+	p.Gap = 8
+	if _, err := Run(p); err == nil {
+		t.Error("Run accepted gap>0 despite never simulating the live measurement")
+	}
+	if _, err := RunAssessment(p); err == nil {
+		t.Error("RunAssessment accepted gap>0")
 	}
 }
 

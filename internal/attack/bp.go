@@ -1,6 +1,9 @@
 package attack
 
-import "repro/internal/lang"
+import (
+	"repro/internal/lang"
+	"repro/internal/victim"
+)
 
 // bpPathLen is the number of dependent ALU operations in each branch path.
 // The two paths are instruction-for-instruction symmetric (same opcodes,
@@ -24,25 +27,35 @@ const bpPathLen = 4
 //     measured segment instead of hiding under a commit backlog.
 const bpGapIters = 48
 
-// bpProgram builds the branch-predictor probe trial: a two-iteration loop
-// around one static conditional branch.
+// bpGapLines sizes the gap activity's scratch array (in 64-bit words).
+const bpGapLines = 8
+
+// bpProgram builds the branch-predictor probe trial around a victim
+// fragment: a two-iteration loop around one static conditional branch.
 //
-//	iteration 0 (victim): the branch condition is the secret bit — on the
-//	    unprotected baseline this is the in-place Spectre-PHT training
-//	    step, writing the secret into the TAGE bimodal counter (and, on a
-//	    mispredict, an allocated tagged entry) at the branch's PC;
+//	iteration 0 (victim): the branch condition is the victim's attacked-bit
+//	    condition (frag.Cond) — on the unprotected baseline this is the
+//	    in-place Spectre-PHT training step, writing the secret into the
+//	    TAGE bimodal counter (and, on a mispredict, an allocated tagged
+//	    entry) at the branch's PC;
 //	iteration 1 (probe): the same static branch runs with the known input
 //	    0. Every predictor path now agrees with whatever direction the
 //	    victim committed, so the probe mispredicts — and eats the flush —
 //	    exactly when the victim's direction differed from the probe's.
 //
-// Marker stores bracket the branch in both iterations; the iteration-1
-// segment is the attacker's measurement. The condition is selected
-// branch-free (lang.Sel), so the probed branch is the only
-// secret-dependent control flow in the program. Under SeMPE the same
-// source compiles to an sJMP region that never consults the predictor,
-// which closes the channel.
-func bpProgram(d draw, secret uint64) *lang.Program {
+// The victim's setup statements run once, before the loop: a realistic
+// victim computes on the earlier key bits (its own secret branches, at
+// their own PCs) before reaching the attacked one. Marker stores bracket
+// the branch in both iterations; the iteration-1 segment is the attacker's
+// measurement. The condition is selected branch-free (lang.Sel), so the
+// probed branch is the only secret-dependent control flow in the measured
+// window. Under SeMPE the same source compiles to an sJMP region that
+// never consults the predictor, which closes the channel.
+//
+// With gap > 0, gap units of dummy branch/memory activity run right after
+// the victim's window — between training and probe — modeling a weaker
+// attacker; see gapLoop.
+func bpProgram(frag victim.Fragment, d draw, gapSeed int64, gap int) *lang.Program {
 	pathBody := func(mul, add int64) []lang.Stmt {
 		out := make([]lang.Stmt, 0, bpPathLen)
 		for j := 0; j < bpPathLen; j++ {
@@ -53,9 +66,10 @@ func bpProgram(d draw, secret uint64) *lang.Program {
 	}
 
 	var iter []lang.Stmt
-	// c = (i == 0) ? secret bit : 0, computed branch-free.
+	// c = (i == 0) ? victim's attacked-bit condition : 0, computed
+	// branch-free.
 	iter = append(iter, lang.Set("c", lang.Sel(lang.B(lang.Eq, lang.V("i"), lang.N(0)),
-		lang.B(lang.And, lang.V("s"), lang.N(1)), lang.N(0))))
+		frag.Cond, lang.N(0))))
 	// Environmental noise outside the measured window: shifts alignment,
 	// fetch phase, and global history between trials.
 	iter = append(iter, noiseOps(d.noisePre)...)
@@ -80,21 +94,40 @@ func bpProgram(d draw, secret uint64) *lang.Program {
 	iter = append(iter, lang.SecretIf(lang.V("c"), pathBody(3, 1), pathBody(5, 7)))
 	iter = append(iter, lang.Put(markerArray, lang.N(0),
 		lang.B(lang.Add, lang.V("i"), lang.N(4)))) // window end
+	// Attacker-strength gap activity: after the victim's committed
+	// training, before the next iteration's spin loop and probe. The trip
+	// count is gated branch-free on the iteration counter so the activity
+	// runs only between train and probe — a second pass after the probe
+	// could affect nothing and would only cost simulation time.
+	iter = append(iter, gapLoop(gap,
+		lang.Sel(lang.B(lang.Eq, lang.V("i"), lang.N(0)), lang.N(int64(gap)), lang.N(0)),
+		"gna", func(x lang.Expr) lang.Expr {
+			return lang.B(lang.And, x, lang.N(bpGapLines-1))
+		})...)
 	iter = append(iter, lang.Set("i", lang.B(lang.Add, lang.V("i"), lang.N(1))))
 
+	vars := append([]*lang.VarDecl{}, frag.Vars...)
+	vars = append(vars,
+		&lang.VarDecl{Name: "i"},
+		&lang.VarDecl{Name: "c"},
+		&lang.VarDecl{Name: "gi"},
+		&lang.VarDecl{Name: "acc", Init: 7},
+		&lang.VarDecl{Name: "nv", Init: d.seed0},
+	)
+	arrays := []*lang.ArrayDecl{{Name: markerArray, Len: 8}}
+	if gap > 0 {
+		vars = append(vars, gapVars(gapSeed)...)
+		arrays = append(arrays, &lang.ArrayDecl{Name: "gna", Len: bpGapLines})
+	}
+	arrays = append(arrays, frag.Arrays...)
+
+	body := append([]lang.Stmt{}, frag.Setup...)
+	body = append(body, lang.Loop(lang.B(lang.Lt, lang.V("i"), lang.N(2)), iter))
+
 	return &lang.Program{
-		Name: "attack_bp",
-		Vars: []*lang.VarDecl{
-			{Name: "s", Init: int64(secret & 1), Secret: true},
-			{Name: "i"},
-			{Name: "c"},
-			{Name: "gi"},
-			{Name: "acc", Init: 7},
-			{Name: "nv", Init: d.seed0},
-		},
-		Arrays: []*lang.ArrayDecl{{Name: markerArray, Len: 8}},
-		Body: []lang.Stmt{
-			lang.Loop(lang.B(lang.Lt, lang.V("i"), lang.N(2)), iter),
-		},
+		Name:   "attack_bp",
+		Vars:   vars,
+		Arrays: arrays,
+		Body:   body,
 	}
 }

@@ -1,6 +1,9 @@
 package attack
 
-import "repro/internal/lang"
+import (
+	"repro/internal/lang"
+	"repro/internal/victim"
+)
 
 // The prime+probe array is three DL1-sized regions of 256 lines each.
 // Element R_k[i] = parr[k*cacheRegionElems + 8*i] lives exactly 256 cache
@@ -12,13 +15,16 @@ const (
 	cacheRegionElems = cacheRegionLines * 8 // 8 words per 64-byte line
 )
 
-// cacheProgram builds the prime+probe trial against a secret-selected
-// victim load.
+// cacheProgram builds the prime+probe trial around a victim fragment's
+// secret-selected load.
 //
+//	setup:  the victim's own computation on the earlier key bits, before
+//	        the attacker's protocol starts.
 //	prime:  load R0[la], R1[la], R0[lb], R1[lb] — both ways of the two
 //	        probed sets are attacker lines, R0 older (LRU victim).
-//	victim: if (secret) load R2[la] else load R2[lb] — on the baseline
-//	        exactly one path executes, evicting R0 from exactly one set.
+//	victim: if (cond) load R2[la] else load R2[lb], where cond is the
+//	        victim's attacked-bit condition — on the baseline exactly one
+//	        path executes, evicting R0 from exactly one set.
 //	probe:  reload R0[la] and R0[lb], each bracketed by a marker store;
 //	        the evicted one misses (>= L2 latency), the other hits.
 //
@@ -28,7 +34,12 @@ const (
 // of hiding under earlier out-of-order work. Under SeMPE both victim paths
 // execute regardless of the secret, so both probed sets are evicted and
 // the per-set probe difference carries no information.
-func cacheProgram(d draw, secret uint64) *lang.Program {
+//
+// With gap > 0, gap units of dummy branch/memory activity run between the
+// victim's load and the probe — their loads fall in the probed-set pool,
+// so an unlucky (and uncalibratable) gap load can evict a primed line and
+// corrupt the probe; see gapLoop.
+func cacheProgram(frag victim.Fragment, d draw, gapSeed int64, gap int) *lang.Program {
 	la8, lb8 := int64(8*d.la), int64(8*d.lb)
 	// dep adds a dummy dependency on the accumulator so the out-of-order
 	// backend cannot reorder the prime/victim/probe protocol: each access
@@ -40,7 +51,7 @@ func cacheProgram(d draw, secret uint64) *lang.Program {
 		return lang.Set("acc", lang.B(lang.Add, lang.V("acc"), lang.At("parr", dep(idx, "acc"))))
 	}
 
-	var body []lang.Stmt
+	body := append([]lang.Stmt{}, frag.Setup...)
 	body = append(body,
 		prime(la8),
 		prime(cacheRegionElems+la8),
@@ -49,10 +60,16 @@ func cacheProgram(d draw, secret uint64) *lang.Program {
 	)
 	body = append(body, noiseOps(d.noisePre)...)
 	body = append(body, lang.Set("vv", lang.N(0)))
-	body = append(body, lang.SecretIf(lang.B(lang.And, lang.V("s"), lang.N(1)),
+	body = append(body, lang.SecretIf(frag.Cond,
 		[]lang.Stmt{lang.Set("vv", lang.At("parr", dep(2*cacheRegionElems+la8, "acc")))},
 		[]lang.Stmt{lang.Set("vv", lang.At("parr", dep(2*cacheRegionElems+lb8, "acc")))},
 	))
+	// Attacker-strength gap activity between the victim's access and the
+	// probe: its loads land in the probed-set pool of region 2.
+	body = append(body, gapLoop(gap, lang.N(int64(gap)), "parr", func(x lang.Expr) lang.Expr {
+		return lang.B(lang.Add, lang.N(2*cacheRegionElems+8*cacheProbeMin),
+			lang.B(lang.Mul, lang.N(8), lang.B(lang.Rem, x, lang.N(cacheProbePool))))
+	})...)
 	body = append(body, lang.Put(markerArray, lang.N(0), lang.N(1))) // probe start
 	body = append(body, noiseOps(d.noiseWin)...)
 	body = append(body, lang.Set("p1", lang.At("parr", dep(la8, "vv"))))
@@ -62,26 +79,35 @@ func cacheProgram(d draw, secret uint64) *lang.Program {
 	body = append(body, lang.Put(markerArray, lang.N(0), lang.N(3))) // after set-B reload
 	body = append(body, lang.Set("acc", lang.B(lang.Add, lang.V("acc"), lang.V("p2"))))
 
+	vars := append([]*lang.VarDecl{}, frag.Vars...)
+	vars = append(vars,
+		&lang.VarDecl{Name: "acc", Init: 1},
+		&lang.VarDecl{Name: "nv", Init: d.seed0},
+		&lang.VarDecl{Name: "vv"},
+		&lang.VarDecl{Name: "p1"},
+		&lang.VarDecl{Name: "p2"},
+	)
+	if gap > 0 {
+		vars = append(vars, gapVars(gapSeed)...)
+	}
+
+	// The marker array is declared first so it owns the data segment's
+	// first line; parr starts one line later, and the probed line pool
+	// [cacheProbeMin, cacheProbeMin+cacheProbePool) keeps every probed
+	// set clear of the marker's set and of the result block (whose
+	// lines alias parr's first lines: the array spans exactly 3*256
+	// lines, a multiple of the DL1 set count). Victim arrays, if any,
+	// come after parr, so they cannot disturb this layout.
+	arrays := []*lang.ArrayDecl{
+		{Name: markerArray, Len: 8},
+		{Name: "parr", Len: 3 * cacheRegionElems},
+	}
+	arrays = append(arrays, frag.Arrays...)
+
 	return &lang.Program{
-		Name: "attack_cache",
-		Vars: []*lang.VarDecl{
-			{Name: "s", Init: int64(secret & 1), Secret: true},
-			{Name: "acc", Init: 1},
-			{Name: "nv", Init: d.seed0},
-			{Name: "vv"},
-			{Name: "p1"},
-			{Name: "p2"},
-		},
-		// The marker array is declared first so it owns the data segment's
-		// first line; parr starts one line later, and the probed line pool
-		// [cacheProbeMin, cacheProbeMin+cacheProbePool) keeps every probed
-		// set clear of the marker's set and of the result block (whose
-		// lines alias parr's first lines: the array spans exactly 3*256
-		// lines, a multiple of the DL1 set count).
-		Arrays: []*lang.ArrayDecl{
-			{Name: markerArray, Len: 8},
-			{Name: "parr", Len: 3 * cacheRegionElems},
-		},
-		Body: body,
+		Name:   "attack_cache",
+		Vars:   vars,
+		Arrays: arrays,
+		Body:   body,
 	}
 }

@@ -7,7 +7,19 @@ import (
 	"repro/internal/compile"
 	"repro/internal/leak"
 	"repro/internal/pipeline"
+	"repro/internal/victim"
 )
+
+// bitFrag is the direct one-bit victim's fragment — the mechanism tests
+// probe the attacker scaffolds with the PR-4 victim.
+func bitFrag(t *testing.T, secret uint64) victim.Fragment {
+	t.Helper()
+	v, err := victim.Lookup("bit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Fragment(secret&1, 1, 0)
+}
 
 // TestBPProbeMechanism pins the microarchitectural story behind the bp
 // attacker using the core's observability hooks directly: the probed
@@ -21,7 +33,7 @@ func TestBPProbeMechanism(t *testing.T) {
 		rng := trialRNG(p.Seed, trial)
 		d := newDraw(rng, p)
 		for _, secret := range []uint64{0, 1} {
-			out, err := compile.Compile(bpProgram(d, secret), compile.Plain)
+			out, err := compile.Compile(bpProgram(bitFrag(t, secret), d, 0, 0), compile.Plain)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -84,7 +96,7 @@ func TestPrimeProbeMechanism(t *testing.T) {
 	p := DefaultParams(PrimeProbe, false)
 	rng := trialRNG(p.Seed, 0)
 	d := newDraw(rng, p)
-	out, err := compile.Compile(cacheProgram(d, 1), compile.Plain)
+	out, err := compile.Compile(cacheProgram(bitFrag(t, 1), d, 0, 0), compile.Plain)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -326,6 +326,99 @@ func TestSpectreThroughCluster(t *testing.T) {
 	}
 }
 
+// TestKeyExtractThroughCluster: the multi-bit key-extraction sweep
+// sharded across two local workers (shard size 1, every point crosses the
+// wire) renders byte-identical stable JSON to the serial engine run, and
+// its KeyRecovery rows survive the wire codec exactly.
+func TestKeyExtractThroughCluster(t *testing.T) {
+	sc := lookup(t, "keyextract")
+	spec := scenario.Spec{Params: map[string]string{
+		"trials": "6", "attackers": "bp", "victims": "keyloop,ctcompare",
+		"widths": "2", "gaps": "0", "archs": "baseline,sempe"}}
+
+	serialSpec := spec
+	serialSpec.Workers = 1
+	serial, err := scenario.Run(sc, serialSpec, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := cluster.New(cluster.Options{
+		Workers:   []string{startWorker(t).URL, startWorker(t).URL},
+		ShardSize: 1,
+	})
+	dist, rep, err := co.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points != 4 || rep.Shards != 4 || len(rep.Unreachable) != 0 {
+		t.Errorf("report = %+v, want 4 points in 4 shards with a fully reachable fleet", rep)
+	}
+	got, want := stableJSON(t, dist), stableJSON(t, serial)
+	if got != want {
+		t.Errorf("distributed keyextract stable JSON differs from serial:\n--- serial ---\n%s\n--- distributed ---\n%s", want, got)
+	}
+	for i := range serial.Rows {
+		if !reflect.DeepEqual(serial.Rows[i], dist.Rows[i]) {
+			t.Errorf("row %d: serial %+v != distributed %+v", i, serial.Rows[i], dist.Rows[i])
+		}
+	}
+}
+
+// TestUnreachableWorkerDroppedAtStartup: a fleet with one dead address
+// completes without a single mid-sweep retry — the health probe drops the
+// dead worker before the first dispatch and reports it.
+func TestUnreachableWorkerDroppedAtStartup(t *testing.T) {
+	sc := lookup(t, "fig10a")
+	spec := smallSpec()
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	live := startWorker(t)
+
+	co := cluster.New(cluster.Options{Workers: []string{dead.URL, live.URL}, ShardSize: 1})
+	dist, rep, err := co.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatalf("sweep failed despite a live worker: %v (report %+v)", err, rep)
+	}
+	if len(rep.Unreachable) != 1 || rep.Unreachable[0] != dead.URL {
+		t.Errorf("unreachable = %v, want [%s]", rep.Unreachable, dead.URL)
+	}
+	if rep.Retries != 0 {
+		t.Errorf("retries = %d, want 0 (the dead worker must never be dispatched to)", rep.Retries)
+	}
+	if len(rep.DroppedWorkers) != 0 {
+		t.Errorf("dropped mid-sweep = %v, want none", rep.DroppedWorkers)
+	}
+	serial, err := scenario.Run(sc, spec, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stableJSON(t, dist), stableJSON(t, serial); got != want {
+		t.Error("result with a startup-dropped worker differs from serial run")
+	}
+}
+
+// TestAllWorkersUnreachableNamedError: a fully dead fleet fails fast with
+// the named startup error, before any shard is built.
+func TestAllWorkersUnreachableNamedError(t *testing.T) {
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead1.Close()
+	dead2 := httptest.NewServer(http.NotFoundHandler())
+	dead2.Close()
+	co := cluster.New(cluster.Options{Workers: []string{dead1.URL, dead2.URL}})
+	_, rep, err := co.Run(context.Background(), lookup(t, "fig10a"), smallSpec())
+	if !errors.Is(err, cluster.ErrNoReachableWorkers) {
+		t.Fatalf("err = %v, want ErrNoReachableWorkers", err)
+	}
+	if len(rep.Unreachable) != 2 {
+		t.Errorf("unreachable = %v, want both workers", rep.Unreachable)
+	}
+	if rep.Dispatched != 0 {
+		t.Errorf("dispatched = %d, want 0", rep.Dispatched)
+	}
+}
+
 func TestParseWorkers(t *testing.T) {
 	good := []struct {
 		in   string

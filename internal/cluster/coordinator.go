@@ -28,6 +28,12 @@ import (
 // through JSON (no DecodeRow); run those locally through the engine.
 var ErrNotShardable = errors.New("scenario's sweep is not shardable (no row codec)")
 
+// ErrNoReachableWorkers marks a fleet in which the startup health probe
+// found no live worker at all — a configuration or deployment problem,
+// reported before any shard is built rather than discovered through a
+// storm of mid-sweep retries.
+var ErrNoReachableWorkers = errors.New("cluster: no worker reachable at startup")
+
 // Options configures a coordinator.
 type Options struct {
 	// Workers are worker base URLs ("http://host:8080"). Empty means
@@ -56,11 +62,15 @@ type Options struct {
 // Report describes where a distributed run's points came from and what
 // the dispatcher had to survive.
 type Report struct {
-	Points         int      `json:"points"`
-	StorePoints    int      `json:"store_points"` // served from the on-disk store
-	Shards         int      `json:"shards"`       // shards built for the missing points
-	Dispatched     int      `json:"dispatched"`   // shard POSTs attempted
-	Retries        int      `json:"retries"`      // failed POSTs that were re-queued
+	Points      int `json:"points"`
+	StorePoints int `json:"store_points"` // served from the on-disk store
+	Shards      int `json:"shards"`       // shards built for the missing points
+	Dispatched  int `json:"dispatched"`   // shard POSTs attempted
+	Retries     int `json:"retries"`      // failed POSTs that were re-queued
+	// Unreachable lists workers the startup health probe dropped before
+	// the first dispatch; DroppedWorkers lists workers dropped mid-sweep
+	// after repeated shard failures.
+	Unreachable    []string `json:"unreachable_workers,omitempty"`
 	DroppedWorkers []string `json:"dropped_workers,omitempty"`
 }
 
@@ -183,8 +193,80 @@ type task struct {
 	attempts int
 }
 
-// dispatch fans the missing points across the worker fleet.
+// probeTimeout bounds one startup health probe; liveness answers in
+// milliseconds, so anything slower is as good as down.
+const probeTimeout = 10 * time.Second
+
+// probeWorkers GETs every worker's /healthz concurrently before the first
+// dispatch. Unreachable workers are dropped from the fleet up front and
+// recorded in the report — a dead address would otherwise surface as
+// puzzling mid-sweep retries — and an entirely unreachable fleet fails
+// fast with ErrNoReachableWorkers.
+func (c *Coordinator) probeWorkers(ctx context.Context, rep *Report) ([]string, error) {
+	timeout := probeTimeout
+	if c.opts.Timeout < timeout {
+		timeout = c.opts.Timeout
+	}
+	ok := make([]bool, len(c.opts.Workers))
+	errs := make([]error, len(c.opts.Workers))
+	var wg sync.WaitGroup
+	for i, url := range c.opts.Workers {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(rctx, http.MethodGet,
+				strings.TrimRight(url, "/")+"/healthz", nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := c.opts.Client.Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("health probe: %s", resp.Status)
+				return
+			}
+			ok[i] = true
+		}(i, url)
+	}
+	wg.Wait()
+
+	var alive []string
+	for i, url := range c.opts.Workers {
+		if ok[i] {
+			alive = append(alive, url)
+			continue
+		}
+		rep.Unreachable = append(rep.Unreachable, url)
+	}
+	if len(alive) == 0 {
+		first := errs[0]
+		for _, err := range errs {
+			if err != nil {
+				first = err
+				break
+			}
+		}
+		return nil, fmt.Errorf("%w: %d workers probed, first failure: %v",
+			ErrNoReachableWorkers, len(c.opts.Workers), first)
+	}
+	return alive, nil
+}
+
+// dispatch fans the missing points across the worker fleet (the workers
+// the startup health probe found alive).
 func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sweep, spec scenario.Spec, specKey string, pts []scenario.Point, missing []int, rows []any, rep *Report) error {
+	workers, err := c.probeWorkers(ctx, rep)
+	if err != nil {
+		return err
+	}
 	var tasks []*task
 	for lo := 0; lo < len(missing); lo += c.opts.ShardSize {
 		hi := min(lo+c.opts.ShardSize, len(missing))
@@ -205,7 +287,7 @@ func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sw
 	var (
 		mu        sync.Mutex
 		remaining = len(tasks)
-		alive     = len(c.opts.Workers)
+		alive     = len(workers)
 		firstErr  error
 	)
 	fail := func(err error) {
@@ -218,7 +300,7 @@ func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sw
 	}
 
 	var wg sync.WaitGroup
-	for _, url := range c.opts.Workers {
+	for _, url := range workers {
 		wg.Add(1)
 		go func(url string) {
 			defer wg.Done()

@@ -84,6 +84,22 @@ func init() {
 		},
 	})
 	scenario.Register(&scenario.Scenario{
+		Name:        "keyextract",
+		Description: "attack lab: multi-bit key extraction over the victim matrix (attacker x victim x width x gap x arch); params: attackers, victims, widths, gaps, archs, trials, seed, noise",
+		Sweep:       keyExtractSweep,
+		Render: func(_ scenario.Spec, rows []any) []*stats.Table {
+			return []*stats.Table{RenderKeyExtract(keyRows(rows))}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
+		Name:        "noise",
+		Description: "attack lab: attacker-strength sweep — key extraction vs. train-to-probe gap activity; params: attackers, victims, widths, gaps, archs, trials, seed, noise",
+		Sweep:       noiseSweep,
+		Render: func(_ scenario.Spec, rows []any) []*stats.Table {
+			return []*stats.Table{RenderNoise(keyRows(rows))}
+		},
+	})
+	scenario.Register(&scenario.Scenario{
 		Name:        "leakmatrix",
 		Description: "security sweep: observable-channel distinguisher, baseline vs. SeMPE (kernels x W); params: kinds, ws, iters, secrets",
 		Sweep:       leakSweep,

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/scenario"
 	"repro/internal/store"
@@ -84,6 +85,7 @@ type run struct {
 	spec     scenario.Spec
 	status   string // "queued" | "running" | "done" | "canceled" | "error"
 	cached   bool
+	created  time.Time
 	done     int
 	total    int
 	errMsg   string
@@ -163,16 +165,19 @@ type createRequest struct {
 	Wait     bool          `json:"wait,omitempty"`
 }
 
-// runView is the wire form of a run.
+// runView is the wire form of a run. AgeSeconds is time since creation —
+// GET /runs exists so cluster debugging can see every run with its status
+// and age at a glance instead of guessing run IDs.
 type runView struct {
-	ID       string           `json:"id"`
-	Scenario string           `json:"scenario"`
-	Spec     scenario.Spec    `json:"spec"`
-	Status   string           `json:"status"`
-	Cached   bool             `json:"cached"`
-	Progress progressView     `json:"progress"`
-	Error    string           `json:"error,omitempty"`
-	Result   *scenario.Result `json:"result,omitempty"`
+	ID         string           `json:"id"`
+	Scenario   string           `json:"scenario"`
+	Spec       scenario.Spec    `json:"spec"`
+	Status     string           `json:"status"`
+	Cached     bool             `json:"cached"`
+	AgeSeconds float64          `json:"age_seconds"`
+	Progress   progressView     `json:"progress"`
+	Error      string           `json:"error,omitempty"`
+	Result     *scenario.Result `json:"result,omitempty"`
 }
 
 type progressView struct {
@@ -210,6 +215,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		scenario: sc.Name,
 		spec:     req.Spec,
 		status:   "queued", // published before the cache/store lookup settles
+		created:  time.Now(),
 		finished: make(chan struct{}),
 		cancel:   cancel,
 	}
@@ -400,14 +406,15 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 // view snapshots the run; the caller holds s.mu.
 func (rn *run) view() runView {
 	return runView{
-		ID:       rn.id,
-		Scenario: rn.scenario,
-		Spec:     rn.spec,
-		Status:   rn.status,
-		Cached:   rn.cached,
-		Progress: progressView{Done: rn.done, Total: rn.total},
-		Error:    rn.errMsg,
-		Result:   rn.result,
+		ID:         rn.id,
+		Scenario:   rn.scenario,
+		Spec:       rn.spec,
+		Status:     rn.status,
+		Cached:     rn.cached,
+		AgeSeconds: time.Since(rn.created).Seconds(),
+		Progress:   progressView{Done: rn.done, Total: rn.total},
+		Error:      rn.errMsg,
+		Result:     rn.result,
 	}
 }
 

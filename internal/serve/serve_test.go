@@ -220,6 +220,55 @@ func TestRunPruningAndOrdering(t *testing.T) {
 	}
 }
 
+// TestListRunsStatusAndAge: GET /runs reports every run with its status
+// and age — the cluster-debugging view, so operators never have to guess
+// run IDs. Ages grow monotonically with run age (newest first in the
+// listing, so ages ascend down the list) and the list view stays small
+// (no result payloads).
+func TestListRunsStatusAndAge(t *testing.T) {
+	_, ts := newTestServer(t)
+	if _, code := postRun(t, ts, `{"scenario": "table2", "spec": {}, "wait": true}`); code != http.StatusOK {
+		t.Fatalf("POST = %d", code)
+	}
+	time.Sleep(20 * time.Millisecond) // separate the creation times measurably
+	if _, code := postRun(t, ts, `{"scenario": "table2", "spec": {}, "wait": true}`); code != http.StatusOK {
+		t.Fatalf("POST = %d", code)
+	}
+	var listing []runView
+	if getJSON(t, ts.URL+"/runs", &listing) != http.StatusOK {
+		t.Fatal("GET /runs failed")
+	}
+	if len(listing) != 2 {
+		t.Fatalf("listing has %d runs, want 2", len(listing))
+	}
+	for _, v := range listing {
+		if v.Status != "done" {
+			t.Errorf("%s: status %q, want done", v.ID, v.Status)
+		}
+		if v.AgeSeconds <= 0 {
+			t.Errorf("%s: age %v, want > 0", v.ID, v.AgeSeconds)
+		}
+		if v.Result != nil {
+			t.Errorf("%s: list view carries a result payload", v.ID)
+		}
+	}
+	// Newest first: run-2 leads and is younger than run-1.
+	if listing[0].ID != "run-2" || listing[1].ID != "run-1" {
+		t.Fatalf("order = [%s %s], want [run-2 run-1]", listing[0].ID, listing[1].ID)
+	}
+	if listing[0].AgeSeconds >= listing[1].AgeSeconds {
+		t.Errorf("ages not ascending down the list: %v then %v", listing[0].AgeSeconds, listing[1].AgeSeconds)
+	}
+	// The single-run view carries the age too.
+	var one runView
+	if getJSON(t, ts.URL+"/runs/run-1", &one) != http.StatusOK {
+		t.Fatal("GET /runs/run-1 failed")
+	}
+	if one.AgeSeconds < listing[1].AgeSeconds {
+		t.Errorf("run-1 age shrank between requests: %v then %v", listing[1].AgeSeconds, one.AgeSeconds)
+	}
+}
+
 // TestLRUEviction: the result cache holds CacheEntries completed runs and
 // evicts the least recently used.
 func TestLRUEviction(t *testing.T) {

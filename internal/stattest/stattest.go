@@ -97,20 +97,44 @@ func TVLA(fixed, random []float64) (t float64, leak bool) {
 //
 // It is a plug-in estimate: biased up by O(bins/n) on independent data,
 // which is fine for the attack lab's use (distinguishing "about one bit"
-// from "about zero bits"). A constant observation, an empty sample, or
-// bins < 1 yield 0.
+// from "about zero bits"). Degenerate input yields 0; BinnedMIChecked
+// exposes which inputs those were.
 func BinnedMI(obs []float64, labels []uint64, bins int) float64 {
+	mi, _ := BinnedMIChecked(obs, labels, bins)
+	return mi
+}
+
+// BinnedMIChecked is BinnedMI with the degenerate cases surfaced: on
+// input that cannot support an estimate it returns (0, true) — a defined
+// zero with a flag, never NaN and never a panic — instead of leaving the
+// caller to guess whether "0 bits" meant "independent" or "unmeasurable".
+// Degenerate inputs are: an empty or length-mismatched sample, fewer than
+// one bin, a constant observation (every x in one bin — the usual SeMPE
+// case), a single label value (H(label) = 0), and any non-finite
+// observation (NaN/±Inf would otherwise poison the range and the binning
+// arithmetic).
+func BinnedMIChecked(obs []float64, labels []uint64, bins int) (mi float64, degenerate bool) {
 	n := len(obs)
 	if n == 0 || len(labels) != n || bins < 1 {
-		return 0
+		return 0, true
 	}
 	lo, hi := obs[0], obs[0]
 	for _, x := range obs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, true
+		}
 		lo = math.Min(lo, x)
 		hi = math.Max(hi, x)
 	}
 	if lo == hi {
-		return 0 // constant observation carries no information
+		return 0, true // constant observation carries no information
+	}
+	distinct := map[uint64]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	if len(distinct) < 2 {
+		return 0, true // a single label value: H(label) = 0 by definition
 	}
 	width := (hi - lo) / float64(bins)
 	binOf := func(x float64) int {
@@ -145,7 +169,7 @@ func BinnedMI(obs []float64, labels []uint64, bins int) float64 {
 		binCount[b]++
 		labelCount[l]++
 	}
-	mi := 0.0
+	mi = 0.0
 	fn := float64(n)
 	for b := 0; b < bins; b++ {
 		for l := range labelVals {
@@ -162,7 +186,7 @@ func BinnedMI(obs []float64, labels []uint64, bins int) float64 {
 	if mi < 0 {
 		mi = 0 // clamp float round-off on independent data
 	}
-	return mi
+	return mi, false
 }
 
 // WilsonInterval returns the Wilson score interval for a binomial success

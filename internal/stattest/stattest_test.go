@@ -99,6 +99,56 @@ func TestBinnedMI(t *testing.T) {
 	}
 }
 
+// TestBinnedMIDegenerate pins the defined-degenerate contract: every
+// input that cannot support an estimate returns exactly (0, true) — never
+// NaN, never a panic — and healthy input is not flagged.
+func TestBinnedMIDegenerate(t *testing.T) {
+	labels := []uint64{0, 1, 0, 1}
+	obs := []float64{1, 9, 1, 9}
+	cases := []struct {
+		name   string
+		obs    []float64
+		labels []uint64
+		bins   int
+	}{
+		{"empty", nil, nil, 8},
+		{"length mismatch", obs, labels[:2], 8},
+		{"zero bins", obs, labels, 0},
+		{"negative bins", obs, labels, -1},
+		{"constant observation", []float64{3, 3, 3, 3}, labels, 8},
+		{"single label", obs, []uint64{7, 7, 7, 7}, 8},
+		{"NaN observation", []float64{1, math.NaN(), 2, 3}, labels, 8},
+		{"+Inf observation", []float64{1, math.Inf(1), 2, 3}, labels, 8},
+		{"-Inf observation", []float64{1, math.Inf(-1), 2, 3}, labels, 8},
+	}
+	for _, c := range cases {
+		mi, degenerate := BinnedMIChecked(c.obs, c.labels, c.bins)
+		if !degenerate {
+			t.Errorf("%s: not flagged degenerate", c.name)
+		}
+		if mi != 0 {
+			t.Errorf("%s: mi = %v, want exactly 0", c.name, mi)
+		}
+		if math.IsNaN(mi) {
+			t.Errorf("%s: mi is NaN", c.name)
+		}
+		// The unflagged wrapper must agree on the value.
+		if got := BinnedMI(c.obs, c.labels, c.bins); got != 0 {
+			t.Errorf("%s: BinnedMI = %v, want 0", c.name, got)
+		}
+	}
+	// A single bin over varying observations is a defined estimate (0 —
+	// every observation in one bin carries nothing) and is not degenerate:
+	// the inputs themselves are fine.
+	if mi, degenerate := BinnedMIChecked(obs, labels, 1); mi != 0 || degenerate {
+		t.Errorf("single bin: (%v, %v), want (0, false)", mi, degenerate)
+	}
+	// Healthy input: unflagged, positive.
+	if mi, degenerate := BinnedMIChecked(obs, labels, 4); degenerate || mi <= 0.9 {
+		t.Errorf("separating input: (%v, %v), want (~1, false)", mi, degenerate)
+	}
+}
+
 func TestWilsonInterval(t *testing.T) {
 	lo, hi := WilsonInterval(50, 100, 1.96)
 	if !(lo < 0.5 && 0.5 < hi) {

@@ -1,0 +1,127 @@
+package victim
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func TestRegistry(t *testing.T) {
+	want := []string{"bit", "ctcompare", "keyloop", "modexp"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, n := range want {
+		v, err := Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Name() != n {
+			t.Errorf("Lookup(%q).Name() = %q", n, v.Name())
+		}
+		if v.Describe() == "" {
+			t.Errorf("%s has no description", n)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup accepted an unknown victim")
+	}
+}
+
+func TestLeakyFlags(t *testing.T) {
+	leaky := map[string]bool{"bit": true, "keyloop": true, "modexp": true, "ctcompare": false}
+	for name, want := range leaky {
+		v, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Leaky() != want {
+			t.Errorf("%s.Leaky() = %v, want %v", name, v.Leaky(), want)
+		}
+	}
+}
+
+// TestFragmentsValidate: every victim's fragment, wrapped in a minimal
+// program shell with the scaffold's reserved names declared, passes lang
+// validation — no undeclared references, no reserved-name collisions.
+func TestFragmentsValidate(t *testing.T) {
+	for _, v := range All() {
+		for _, w := range []int{1, 4, 8, MaxWidth} {
+			for _, bit := range []int{0, w / 2, w - 1} {
+				key := uint64(0x5A5A5A5A) & (1<<uint(w) - 1)
+				f := v.Fragment(key, w, bit)
+				if f.Cond == nil {
+					t.Fatalf("%s w=%d bit=%d: nil Cond", v.Name(), w, bit)
+				}
+				// Shell mimicking a scaffold: reserved scalars plus a body
+				// consuming the condition.
+				prog := &lang.Program{
+					Name: "shell",
+					Vars: append(append([]*lang.VarDecl{}, f.Vars...),
+						&lang.VarDecl{Name: "c"}),
+					Arrays: f.Arrays,
+					Body: append(append([]lang.Stmt{}, f.Setup...),
+						lang.Set("c", f.Cond)),
+				}
+				if err := prog.Validate(); err != nil {
+					t.Errorf("%s w=%d bit=%d: %v", v.Name(), w, bit, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFragmentAvoidsReservedNames pins the registry-time check directly.
+func TestFragmentAvoidsReservedNames(t *testing.T) {
+	reserved := map[string]bool{}
+	for _, n := range ReservedNames() {
+		reserved[n] = true
+	}
+	for _, v := range All() {
+		f := v.Fragment(5, 4, 1)
+		for _, d := range f.Vars {
+			if reserved[d.Name] {
+				t.Errorf("%s declares reserved scalar %q", v.Name(), d.Name)
+			}
+		}
+		for _, a := range f.Arrays {
+			if reserved[a.Name] {
+				t.Errorf("%s declares reserved array %q", v.Name(), a.Name)
+			}
+		}
+	}
+}
+
+// TestSecretDeclared: every leaky victim must mark a secret scalar (the
+// taint tracker and the SeMPE compiler key off it); the negative control
+// marks its key secret too — constant-time code still holds a secret, it
+// just never branches on it.
+func TestSecretDeclared(t *testing.T) {
+	for _, v := range All() {
+		f := v.Fragment(3, 4, 1)
+		found := false
+		for _, d := range f.Vars {
+			if d.Secret {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s declares no secret scalar", v.Name())
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(bitVictim{})
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Attack-lab smoke: a quick spectre run must find that the unprotected
-# baseline leaks the secret (recovery + TVLA) and that SeMPE does not, and
-# the sharded spectre sweep must merge byte-identically to the serial run.
+# baseline leaks the secret (recovery + TVLA) and that SeMPE does not; a
+# quick 4-bit key extraction must pull the whole key from a leaky victim
+# on the baseline and nothing anywhere else; and both the sharded spectre
+# and keyextract sweeps must merge byte-identically to their serial runs.
 # CI runs this; `make smoke-attack` runs it locally.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,6 +20,10 @@ go build -o "$tmp/bin/" ./cmd/sempe-attack ./cmd/sempe-bench ./cmd/sempe-serve .
 
 echo "== one-off attack check (baseline must leak, SeMPE must not)"
 "$tmp/bin/sempe-attack" -trials 40 -check >"$tmp/attack.txt"
+
+echo "== 4-bit key extraction check (baseline pulls the key, SeMPE and the CT control stay secure)"
+"$tmp/bin/sempe-attack" -victim keyloop -bits 4 -trials 12 -check >"$tmp/keyextract.txt"
+"$tmp/bin/sempe-attack" -victim ctcompare -bits 4 -trials 12 -check >"$tmp/ctcompare.txt"
 
 echo "== starting two workers"
 "$tmp/bin/sempe-serve" -addr 127.0.0.1:18087 -worker >"$tmp/w1.log" 2>&1 &
@@ -48,6 +54,21 @@ echo "== distributed spectre sweep across 2 workers"
 diff -u "$tmp/serial.json" "$tmp/dist.json" || {
     echo "FAIL: distributed spectre output differs from serial run" >&2
     cat "$tmp/sweep.log" >&2
+    exit 1
+}
+echo "   byte-identical to serial"
+
+keyparams=(-param attackers=bp,cache -param victims=keyloop -param widths=4 -param trials=8)
+echo "== serial keyextract reference (sempe-bench)"
+"$tmp/bin/sempe-bench" -exp keyextract -quick "${keyparams[@]}" -format json -stable >"$tmp/kserial.json" 2>/dev/null
+
+echo "== distributed 4-bit key extraction across 2 workers"
+"$tmp/bin/sempe-sweep" -scenario keyextract -quick -shard 1 "${keyparams[@]}" \
+    -workers http://127.0.0.1:18087,http://127.0.0.1:18088 \
+    >"$tmp/kdist.json" 2>"$tmp/ksweep.log"
+diff -u "$tmp/kserial.json" "$tmp/kdist.json" || {
+    echo "FAIL: distributed keyextract output differs from serial run" >&2
+    cat "$tmp/ksweep.log" >&2
     exit 1
 }
 echo "   byte-identical to serial"
