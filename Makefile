@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke sweep serve smoke-cluster smoke-attack smoke-keyextract clean
+.PHONY: check vet build test race bench bench-smoke bench-record sweep serve smoke-cluster smoke-attack smoke-keyextract clean
 
 # check is the tier-1 gate plus a benchmark smoke run.
 check: vet build test bench-smoke
@@ -24,6 +24,11 @@ bench-smoke:
 # bench is the full benchmark suite (paper figures + ablations).
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-record appends a {date, commit, minst_per_s, allocs_per_op, ipc}
+# entry to the committed BENCH_sim.json trajectory. Pass LABEL=<tag>.
+bench-record:
+	./scripts/bench_record.sh $(LABEL)
 
 # race runs the suite under the race detector (CI runs this too; the
 # sweep engine and sempe-serve are the concurrent pieces).

@@ -90,7 +90,7 @@ func bpProgram(frag victim.Fragment, d draw, gapSeed int64, gap int) *lang.Progr
 			lang.B(lang.And, lang.V("nv"), lang.N(0)))),
 	}))
 	iter = append(iter, lang.Put(markerArray, lang.N(0), lang.V("i"))) // window start
-	iter = append(iter, noiseOps(d.noiseWin)...)                      // in-window jitter
+	iter = append(iter, noiseOps(d.noiseWin)...)                       // in-window jitter
 	iter = append(iter, lang.SecretIf(lang.V("c"), pathBody(3, 1), pathBody(5, 7)))
 	iter = append(iter, lang.Put(markerArray, lang.N(0),
 		lang.B(lang.Add, lang.V("i"), lang.N(4)))) // window end

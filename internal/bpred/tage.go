@@ -23,6 +23,30 @@ type TAGE struct {
 	Mispredict uint64
 	allocs     uint64
 	uTick      uint64
+
+	// Memoized fast path. A prediction is a pure function of (pc, predictor
+	// state), and every piece of that state — counters, tags, useful bits,
+	// useAltCtr, folded histories — mutates only inside Update. gen counts
+	// Updates; Predict records its resolved (provider, pred, altPred) tagged
+	// with the current gen, and Update reuses the record instead of re-walking
+	// the tagged tables when the generation (and pc) still match. A stale
+	// generation falls back to predictInternal, so the fast path can never
+	// diverge from the cycle-exact result. FastHits counts reuses.
+	gen      uint64
+	memo     [tageMemoSize]tageMemoEntry
+	FastHits uint64
+}
+
+// tageMemoSize is the direct-mapped memo capacity; a small power of two
+// suffices because reuse only ever targets the most recent generation.
+const tageMemoSize = 64
+
+type tageMemoEntry struct {
+	pc       uint64
+	gen      uint64
+	provider int16
+	pred     bool
+	altPred  bool
 }
 
 type tageTable struct {
@@ -67,6 +91,7 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 	t := &TAGE{
 		base:     make([]int8, 1<<cfg.BaseBits),
 		baseMask: 1<<cfg.BaseBits - 1,
+		gen:      1, // so zero-valued memo entries can never match
 	}
 	maxLen := 0
 	for _, hl := range cfg.HistLens {
@@ -102,7 +127,10 @@ func (tb *tageTable) tag(pc uint64) uint16 {
 
 // Predict returns the predicted direction for the branch at pc.
 func (t *TAGE) Predict(pc uint64) bool {
-	taken, _, _ := t.predictInternal(pc)
+	taken, provider, altPred := t.predictInternal(pc)
+	m := &t.memo[pc&(tageMemoSize-1)]
+	m.pc, m.gen = pc, t.gen
+	m.provider, m.pred, m.altPred = int16(provider), taken, altPred
 	return taken
 }
 
@@ -147,7 +175,18 @@ func (t *TAGE) predictInternal(pc uint64) (bool, int, bool) {
 // program order.
 func (t *TAGE) Update(pc uint64, taken bool) {
 	t.Lookups++
-	pred, provider, altPred := t.predictInternal(pc)
+	var (
+		pred, altPred bool
+		provider      int
+	)
+	if m := &t.memo[pc&(tageMemoSize-1)]; m.pc == pc && m.gen == t.gen {
+		// No state has changed since this branch was predicted: reuse the
+		// resolved provider/altpred instead of re-walking the tagged tables.
+		pred, provider, altPred = m.pred, int(m.provider), m.altPred
+		t.FastHits++
+	} else {
+		pred, provider, altPred = t.predictInternal(pc)
+	}
 	if pred != taken {
 		t.Mispredict++
 	}
@@ -183,8 +222,11 @@ func (t *TAGE) Update(pc uint64, taken bool) {
 		t.allocate(pc, taken, provider)
 	}
 
-	// Finally, push the outcome into the global history.
+	// Finally, push the outcome into the global history, and advance the
+	// generation: every mutation above happened inside this Update, so
+	// memo entries recorded before it are now stale.
 	t.pushHistory(taken)
+	t.gen++
 }
 
 func (t *TAGE) allocate(pc uint64, taken bool, provider int) {

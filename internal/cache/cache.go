@@ -71,6 +71,18 @@ type Cache struct {
 	clock      uint64
 	observer   Observer
 
+	// Set selection is a mask/shift pair (set counts are enforced powers of
+	// two in New), and memoLine/memoIdx remember the slot of the most recent
+	// demand hit. The memo is a pure lookup shortcut: a memoized hit applies
+	// exactly the side effects of the associative search finding the same
+	// slot (access count, LRU clock, dirty bit, observer callback). Any fill
+	// — demand or prefetch — can move or evict lines, so fill() always drops
+	// the memo.
+	setMask  uint64
+	setShift uint
+	memoLine uint64
+	memoIdx  int32 // flat tags[] index of the memoized line, -1 = none
+
 	Stats Stats
 }
 
@@ -91,6 +103,10 @@ func New(cfg Config, next Level) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, sets))
 	}
+	shift := uint(0)
+	for 1<<shift < sets {
+		shift++
+	}
 	n := sets * cfg.Ways
 	return &Cache{
 		name:       cfg.Name,
@@ -102,6 +118,9 @@ func New(cfg Config, next Level) *Cache {
 		valid:      make([]bool, n),
 		dirty:      make([]bool, n),
 		lruAge:     make([]uint64, n),
+		setMask:    uint64(sets - 1),
+		setShift:   shift,
+		memoIdx:    -1,
 	}
 }
 
@@ -119,7 +138,7 @@ func (c *Cache) Ways() int { return c.ways }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	line := addr / LineSize
-	return int(line % uint64(c.sets)), line / uint64(c.sets)
+	return int(line & c.setMask), line >> c.setShift
 }
 
 // Access implements Level for demand accesses (no PC attribution).
@@ -131,9 +150,25 @@ func (c *Cache) Access(addr uint64, write bool) int {
 // returning the latency. Misses recurse into the next level and fill.
 func (c *Cache) AccessPC(pc, addr uint64, write bool) int {
 	c.Stats.Accesses++
-	set, tag := c.index(addr)
-	base := set * c.ways
+	line := addr / LineSize
 	c.clock++
+	// Last-hit memo: repeated accesses to the same line (the common case for
+	// sequential instruction fetch and stack traffic) skip the associative
+	// search. Valid only because fill() drops the memo on every line motion.
+	if line == c.memoLine && c.memoIdx >= 0 {
+		i := c.memoIdx
+		c.lruAge[i] = c.clock
+		if write {
+			c.dirty[i] = true
+		}
+		if c.observer != nil {
+			c.observer.OnAccess(pc, addr, false)
+		}
+		return c.hitLatency
+	}
+	set := int(line & c.setMask)
+	tag := line >> c.setShift
+	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		i := base + w
 		if c.valid[i] && c.tags[i] == tag {
@@ -141,6 +176,7 @@ func (c *Cache) AccessPC(pc, addr uint64, write bool) int {
 			if write {
 				c.dirty[i] = true
 			}
+			c.memoLine, c.memoIdx = line, int32(i)
 			if c.observer != nil {
 				c.observer.OnAccess(pc, addr, false)
 			}
@@ -210,6 +246,7 @@ func (c *Cache) Prefetch(addr uint64) {
 }
 
 func (c *Cache) fill(set int, tag uint64, write bool) {
+	c.memoIdx = -1 // any fill can evict or shadow the memoized slot
 	base := set * c.ways
 	victim := base
 	for w := 1; w < c.ways; w++ {

@@ -243,13 +243,59 @@ func TestCorruptStoreEntryRecomputed(t *testing.T) {
 	}
 }
 
-// TestNotShardable: sweeps without a row codec (fig8 rows carry whole
-// cores) are rejected up front.
+// TestNotShardable: a sweep without a row codec is rejected up front.
+// (Every registered sweep declares one, so the case is synthetic.)
 func TestNotShardable(t *testing.T) {
+	sc := &scenario.Scenario{
+		Name: "local-only",
+		Sweep: &scenario.Sweep{
+			ID:   "local-only",
+			Axes: func(scenario.Spec) ([]scenario.Axis, error) { return nil, nil },
+			Run:  func(scenario.Spec, scenario.Point) (any, error) { return struct{}{}, nil },
+		},
+	}
 	co := cluster.New(cluster.Options{Workers: []string{"http://unused"}})
-	_, _, err := co.Run(context.Background(), lookup(t, "fig8"), scenario.Spec{})
+	_, _, err := co.Run(context.Background(), sc, scenario.Spec{})
 	if !errors.Is(err, cluster.ErrNotShardable) {
 		t.Fatalf("err = %v, want ErrNotShardable", err)
+	}
+}
+
+// TestFig8ThroughCluster: the djpeg grid — shardable now that Fig8Row
+// carries plain statistics instead of live cores — sharded across two
+// workers (shard size 1, every point crosses the wire) renders
+// byte-identical stable JSON to the serial engine run, and the typed rows
+// survive the codec exactly.
+func TestFig8ThroughCluster(t *testing.T) {
+	sc := lookup(t, "fig8")
+	spec := scenario.Spec{Params: map[string]string{"sizes": "tiny:8,256k"}}
+
+	serialSpec := spec
+	serialSpec.Workers = 1
+	serial, err := scenario.Run(sc, serialSpec, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := cluster.New(cluster.Options{
+		Workers:   []string{startWorker(t).URL, startWorker(t).URL},
+		ShardSize: 1,
+	})
+	dist, rep, err := co.Run(context.Background(), sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points != 6 || rep.Shards != 6 {
+		t.Errorf("report = %+v, want 6 points (3 formats x 2 sizes) in 6 shards", rep)
+	}
+	got, want := stableJSON(t, dist), stableJSON(t, serial)
+	if got != want {
+		t.Errorf("distributed fig8 stable JSON differs from serial:\n--- serial ---\n%s\n--- distributed ---\n%s", want, got)
+	}
+	for i := range serial.Rows {
+		if serial.Rows[i] != dist.Rows[i] {
+			t.Errorf("row %d: serial %+v != distributed %+v", i, serial.Rows[i], dist.Rows[i])
+		}
 	}
 }
 

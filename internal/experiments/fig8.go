@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/compile"
 	"repro/internal/jpegsim"
 	"repro/internal/pipeline"
@@ -13,13 +14,22 @@ import (
 )
 
 // Fig8Row is one (format, size) cell of Fig. 8, carrying the Fig. 9 cache
-// statistics from the same pair of runs.
+// statistics from the same pair of runs. Fields are plain values (no live
+// cores), so rows survive a JSON round trip — which is what lets the fig8
+// grid shard across a cluster and persist in the on-disk row store.
 type Fig8Row struct {
-	Format   jpegsim.Format
-	Size     string
-	Blocks   int
-	Base     *pipeline.Core
-	Secure   *pipeline.Core
+	Format jpegsim.Format
+	Size   string
+	Blocks int
+
+	BaseCycles   uint64
+	SecureCycles uint64
+
+	// Per-level cache statistics for Fig. 9.
+	BaseIL1, SecureIL1 cache.Stats
+	BaseDL1, SecureDL1 cache.Stats
+	BaseL2, SecureL2   cache.Stats
+
 	Overhead float64 // SeMPE/Baseline - 1
 }
 
@@ -131,6 +141,7 @@ var fig8Sweep = &scenario.Sweep{
 		}
 		return fig8Point(f, jpegsim.Formats()[p.Coords[0]], f.Sizes[p.Coords[1]])
 	},
+	DecodeRow: decodeRowAs[Fig8Row],
 }
 
 // fig8Point runs one (format, size) cell: the decoder on the unprotected
@@ -147,12 +158,18 @@ func fig8Point(spec Fig8Spec, format jpegsim.Format, size jpegsim.Size) (Fig8Row
 		return Fig8Row{}, fmt.Errorf("fig8 %v/%s sempe: %w", format, size.Label, err)
 	}
 	return Fig8Row{
-		Format:   format,
-		Size:     size.Label,
-		Blocks:   size.Blocks,
-		Base:     base,
-		Secure:   sec,
-		Overhead: float64(sec.Stats.Cycles)/float64(base.Stats.Cycles) - 1,
+		Format:       format,
+		Size:         size.Label,
+		Blocks:       size.Blocks,
+		BaseCycles:   base.Stats.Cycles,
+		SecureCycles: sec.Stats.Cycles,
+		BaseIL1:      base.Hier.IL1.Stats,
+		SecureIL1:    sec.Hier.IL1.Stats,
+		BaseDL1:      base.Hier.DL1.Stats,
+		SecureDL1:    sec.Hier.DL1.Stats,
+		BaseL2:       base.Hier.L2.Stats,
+		SecureL2:     sec.Hier.L2.Stats,
+		Overhead:     float64(sec.Stats.Cycles)/float64(base.Stats.Cycles) - 1,
 	}, nil
 }
 
@@ -181,7 +198,7 @@ func RenderFig8(rows []Fig8Row) *stats.Table {
 	}
 	for _, r := range rows {
 		t.AddRow(r.Format.String(), r.Size,
-			stats.Int(r.Base.Stats.Cycles), stats.Int(r.Secure.Stats.Cycles),
+			stats.Int(r.BaseCycles), stats.Int(r.SecureCycles),
 			stats.Percent(r.Overhead))
 	}
 	t.AddNote("paper: overheads between 31%% and 87%% across formats (PPM > GIF > BMP), largely independent of input size")
@@ -197,12 +214,12 @@ func RenderFig9(rows []Fig8Row) *stats.Table {
 	}
 	for _, r := range rows {
 		t.AddRow(r.Format.String(), r.Size,
-			stats.Percent(r.Base.Hier.IL1.Stats.MissRate()),
-			stats.Percent(r.Secure.Hier.IL1.Stats.MissRate()),
-			stats.Percent(r.Base.Hier.DL1.Stats.MissRate()),
-			stats.Percent(r.Secure.Hier.DL1.Stats.MissRate()),
-			stats.Percent(r.Base.Hier.L2.Stats.MissRate()),
-			stats.Percent(r.Secure.Hier.L2.Stats.MissRate()))
+			stats.Percent(r.BaseIL1.MissRate()),
+			stats.Percent(r.SecureIL1.MissRate()),
+			stats.Percent(r.BaseDL1.MissRate()),
+			stats.Percent(r.SecureDL1.MissRate()),
+			stats.Percent(r.BaseL2.MissRate()),
+			stats.Percent(r.SecureL2.MissRate()))
 	}
 	t.AddNote("paper: IL1 miss rates low and size-insensitive; DL1/L2 similar between baseline and SeMPE, with slight locality benefits from dual-path execution")
 	return t

@@ -4,25 +4,106 @@ import (
 	"repro/internal/isa"
 )
 
-// issue selects ready micro-ops from the issue queue (oldest first, up to
-// IssueWidth and the per-class functional-unit limits), reads their
-// operands, computes results, and schedules completion.
+// waitNode is one issue-queue wakeup registration: the micro-op in slot ref
+// (validated by seq, so a recycled slot or a squashed op is skipped lazily)
+// is waiting for some physical register to become ready. Nodes live in a
+// flat index-linked pool — like the uop arena, the whole wait network is
+// pointer-free, so registration and wakeup incur no GC write barriers.
+type waitNode struct {
+	seq  uint64
+	ref  uref
+	next int32 // next node in this register's chain, -1 ends it
+}
+
+// regWait pushes a wakeup registration for micro-op i onto register p's
+// waiter chain. Free nodes are chained through their next field
+// (waitFreeHead), so recycling touches no slice headers — and therefore no
+// GC write barriers — on the per-instruction wakeup traffic.
+func (c *Core) regWait(p int16, i uref, seq uint64) {
+	n := c.waitFreeHead
+	if n >= 0 {
+		c.waitFreeHead = c.waitNodes[n].next
+	} else {
+		n = int32(len(c.waitNodes))
+		c.waitNodes = append(c.waitNodes, waitNode{})
+	}
+	nd := &c.waitNodes[n]
+	nd.ref, nd.seq = i, seq
+	nd.next = c.waitHead[p]
+	c.waitHead[p] = n
+}
+
+// wakePreg delivers the ready event for physical register p to every
+// registered waiter: each live waiter's pending-source count drops by one
+// (an op waiting twice on p registered twice), and ops that reach zero
+// enter the ready list. Stale registrations — squashed ops, or slots since
+// recycled to a different micro-op — fail the seq check and are dropped.
+func (c *Core) wakePreg(p int16) {
+	n := c.waitHead[p]
+	if n < 0 {
+		return
+	}
+	c.waitHead[p] = -1
+	arena := c.pool.arena
+	for n >= 0 {
+		nd := &c.waitNodes[n]
+		next := nd.next
+		u := &arena[nd.ref]
+		if u.seq == nd.seq && !u.squashed {
+			u.notReady--
+			if u.notReady == 0 {
+				c.readyInsert(nd.ref)
+			}
+		}
+		nd.next = c.waitFreeHead
+		c.waitFreeHead = n
+		n = next
+	}
+}
+
+// readyInsert adds i to readyList keeping it sorted by seq, so issue always
+// selects oldest-first — the same order the full queue scan produced. The
+// buffer is preallocated at IQSize (readyCount can never exceed issue-queue
+// occupancy), so insertion writes no slice header.
+func (c *Core) readyInsert(i uref) {
+	arena := c.pool.arena
+	s := arena[i].seq
+	rl := c.readyList
+	j := c.readyCount
+	for j > 0 && arena[rl[j-1]].seq > s {
+		rl[j] = rl[j-1]
+		j--
+	}
+	rl[j] = i
+	c.readyCount++
+}
+
+// issue selects ready micro-ops (oldest first, up to IssueWidth and the
+// per-class functional-unit limits), reads their operands, computes
+// results, and schedules completion. Operand readiness is maintained
+// event-driven (see wakePreg), so only genuinely ready work is visited:
+// entries still here after a pass were held back by functional-unit caps or
+// memory disambiguation, which are re-evaluated each cycle just as the full
+// scan did.
 func (c *Core) issue() {
+	if c.readyCount == 0 {
+		return
+	}
 	issued := 0
 	alu, muldiv, load, store, branch := 0, 0, 0, 0, 0
-	out := c.iq[:0]
-	for _, u := range c.iq {
+	arena := c.pool.arena
+	rl := c.readyList
+	kept := 0
+	for idx := 0; idx < c.readyCount; idx++ {
+		i := rl[idx]
 		if issued >= c.cfg.IssueWidth {
-			out = append(out, u)
+			rl[kept] = i
+			kept++
 			continue
 		}
-		if !c.operandsReady(u) {
-			out = append(out, u)
-			continue
-		}
-		cl := u.class()
+		u := &arena[i]
 		var ok bool
-		switch cl {
+		switch u.cl {
 		case isa.ClassALU, isa.ClassCMov:
 			if alu < c.cfg.NumALU {
 				alu++
@@ -50,45 +131,34 @@ func (c *Core) issue() {
 			}
 		}
 		if !ok {
-			out = append(out, u)
+			rl[kept] = i
+			kept++
 			continue
 		}
-		c.execute(u)
+		c.execute(i, u)
 		issued++
 	}
-	c.iq = out
+	c.readyCount = kept
 }
 
-// operandsReady reports whether all renamed sources have produced values.
-func (c *Core) operandsReady(u *uop) bool {
-	if u.ps1 >= 0 && !c.physReady[u.ps1] {
-		return false
-	}
-	if u.ps2 >= 0 && !c.physReady[u.ps2] {
-		return false
-	}
-	if u.ps3 >= 0 && !c.physReady[u.ps3] {
-		return false
-	}
-	return true
-}
-
-func (c *Core) srcVal(p int) uint64 {
+func (c *Core) srcVal(p int16) uint64 {
 	if p < 0 {
 		return 0
 	}
 	return c.physVal[p]
 }
 
-// execute computes u's result and schedules its completion.
-func (c *Core) execute(u *uop) {
+// execute computes u's result and schedules its completion. u must be
+// c.u(i); the caller passes the pointer it already resolved.
+func (c *Core) execute(i uref, u *uop) {
 	u.issued = true
+	c.iqCount--
 	in := u.inst
 	a := c.srcVal(u.ps1)
 	b := c.srcVal(u.ps2)
 	old := c.srcVal(u.ps3)
 
-	switch u.class() {
+	switch u.cl {
 	case isa.ClassBranch:
 		u.actualTaken = isa.BranchTaken(in.Op, a, b)
 		u.actualTarget = u.pc + uint64(in.Imm)
@@ -145,7 +215,21 @@ func (c *Core) execute(u *uop) {
 		u.result, _ = isa.EvalALU(in, a, b, old)
 		u.doneCycle = c.cycle + uint64(c.cfg.LatALU)
 	}
-	c.exec = append(c.exec, u)
+	// File into the completion calendar. calNext trails the arena lazily;
+	// any slot beyond its length has never been filed.
+	if int(i) >= len(c.calNext) {
+		for len(c.calNext) < len(c.pool.arena) {
+			c.calNext = append(c.calNext, -1)
+		}
+	}
+	if u.doneCycle-c.cycle <= c.calMask {
+		b := u.doneCycle & c.calMask
+		c.calNext[i] = c.calBuckets[b]
+		c.calBuckets[b] = i
+	} else {
+		c.calOverflow = append(c.calOverflow, i)
+	}
+	c.execCount++
 }
 
 // loadCanExecute implements conservative memory disambiguation: a load may
@@ -153,7 +237,9 @@ func (c *Core) execute(u *uop) {
 // address, and any overlapping older store either fully covers the load
 // (store-to-load forwarding) or has already left the queue.
 func (c *Core) loadCanExecute(u *uop) bool {
-	for _, s := range c.sq {
+	arena := c.pool.arena
+	for _, si := range c.sq {
+		s := &arena[si]
 		if s.seq >= u.seq {
 			break
 		}
@@ -173,7 +259,9 @@ func (c *Core) loadCanExecute(u *uop) bool {
 
 func (c *Core) youngestOverlapping(u *uop) *uop {
 	var found *uop
-	for _, s := range c.sq {
+	arena := c.pool.arena
+	for _, si := range c.sq {
+		s := &arena[si]
 		if s.seq >= u.seq {
 			break
 		}
@@ -196,9 +284,9 @@ func covers(s, l *uop) bool {
 }
 
 // loadAccess returns (cache latency, forwarded, value) for a load whose
-// address is computed. Forwarded loads still probe the DL1 for timing/stats
-// realism? No: a forwarded load is satisfied from the store queue and does
-// not access the cache, matching conventional store-to-load forwarding.
+// address is computed. A forwarded load is satisfied from the store queue
+// and does not access the cache, matching conventional store-to-load
+// forwarding.
 func (c *Core) loadAccess(u *uop) (int, bool, uint64) {
 	if s := c.youngestOverlapping(u); s != nil && covers(s, u) {
 		c.Stats.LoadForwards++
@@ -220,53 +308,74 @@ func (c *Core) loadAccess(u *uop) (int, bool, uint64) {
 }
 
 // writeback completes executed micro-ops whose latency has elapsed, wakes
-// dependents, and resolves branch mispredictions (oldest first).
+// dependents, and resolves branch mispredictions (oldest first). The
+// completion calendar makes this O(completions this cycle): the current
+// wheel bucket holds exactly the ops whose doneCycle is now (every entry is
+// filed less than a full wheel turn ahead and buckets are drained every
+// cycle), plus any ops a flush squashed mid-flight, which are reclaimed
+// when their bucket comes due.
 func (c *Core) writeback() {
-	// exec is kept in program order (issue preserves order of insertion by
-	// seq within a cycle and ROB order across cycles is close enough for
-	// oldest-first resolution; sort defensively by seq).
-	insertionSortBySeq(c.exec)
-	out := c.exec[:0]
-	for _, u := range c.exec {
-		if u.squashed {
-			// Flushed while in flight: exec held the last live reference
-			// (flushAfter already removed it from every other structure).
-			c.pool.put(u)
-			continue
+	if c.execCount == 0 {
+		return
+	}
+	b := c.cycle & c.calMask
+	n := c.calBuckets[b]
+	if n < 0 && len(c.calOverflow) == 0 {
+		return
+	}
+	c.calBuckets[b] = -1
+	// wbScratch is preallocated at ROBSize (the calendar never holds more
+	// than the in-flight window), so these appends never grow it and the
+	// header need not be stored back — no GC write barrier.
+	due := c.wbScratch[:0]
+	for n >= 0 {
+		due = append(due, n)
+		n = c.calNext[n]
+	}
+	if len(c.calOverflow) > 0 {
+		// Degenerate-config safety net: latencies past the wheel are scanned
+		// linearly. Unreachable with the shipped configurations.
+		keep := c.calOverflow[:0]
+		for _, i := range c.calOverflow {
+			u := &c.pool.arena[i]
+			if u.squashed || u.doneCycle <= c.cycle {
+				due = append(due, i)
+			} else {
+				keep = append(keep, i)
+			}
 		}
-		if u.doneCycle > c.cycle {
-			out = append(out, u)
+		c.calOverflow = keep
+	}
+	arena := c.pool.arena
+	// Oldest-first: mispredict resolution order must match the full scan's
+	// seq order. The due list is tiny (completions of one cycle).
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && arena[due[j]].seq < arena[due[j-1]].seq; j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	for _, i := range due {
+		u := &arena[i]
+		c.execCount--
+		if u.squashed {
+			// Flushed while in flight: the calendar held the last live
+			// reference (flushAfter removed it from every other structure).
+			c.pool.put(i)
 			continue
 		}
 		if u.hasDest {
 			c.physVal[u.pd] = u.result
 			c.physReady[u.pd] = true
+			if c.waitHead[u.pd] >= 0 {
+				c.wakePreg(u.pd)
+			}
 		}
 		u.completed = true
 		if u.mispredict {
 			c.Stats.BranchMispredicts++
 			c.flushAfter(u, u.actualTarget)
-			// flushAfter marked younger ops squashed; drop any already
-			// copied into out and recycle them (their flush deferred the
-			// free to us).
-			rebuilt := out[:0]
-			for _, v := range out {
-				if !v.squashed {
-					rebuilt = append(rebuilt, v)
-				} else {
-					c.pool.put(v)
-				}
-			}
-			out = rebuilt
-		}
-	}
-	c.exec = out
-}
-
-func insertionSortBySeq(s []*uop) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j].seq < s[j-1].seq; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+			// Younger due ops now carry the squashed mark and are reclaimed
+			// by the check above as this loop reaches them.
 		}
 	}
 }

@@ -15,8 +15,10 @@ import (
 // commit, after a drain, is what makes the mechanism simple: the committed
 // register file is the architectural state by construction.
 func (c *Core) retire() error {
+	arena := c.pool.arena
 	for n := 0; n < c.cfg.RetireWidth && c.robCount > 0; n++ {
-		u := c.rob[c.robHead]
+		i := c.rob[c.robHead]
+		u := &arena[i]
 		if !u.completed {
 			return nil
 		}
@@ -35,7 +37,9 @@ func (c *Core) retire() error {
 			c.markModified(rd)
 		}
 
-		// Memory commit.
+		// Memory commit. The committing op is the oldest in its memory
+		// queue (queues are program-ordered and the ROB head is the oldest
+		// in-flight op), so removal is a head pop.
 		if u.isStore {
 			if u.memWidth == 8 {
 				c.mem.Write64(u.memAddr, u.storeData)
@@ -50,7 +54,7 @@ func (c *Core) retire() error {
 			if c.MemWatch != nil {
 				c.MemWatch(u.memAddr, true, c.cycle)
 			}
-			c.sq = removeBySeq(c.sq, u.seq)
+			c.sq = removeHead(c.sq, i)
 		}
 		if u.isLoad {
 			c.memDigest = fnvMix(c.memDigest, u.memAddr<<1)
@@ -60,7 +64,7 @@ func (c *Core) retire() error {
 			if c.MemWatch != nil {
 				c.MemWatch(u.memAddr, false, c.cycle)
 			}
-			c.lq = removeBySeq(c.lq, u.seq)
+			c.lq = removeHead(c.lq, i)
 		}
 
 		// Predictor training. sJMP never touches the predictor: that is the
@@ -68,7 +72,7 @@ func (c *Core) retire() error {
 		switch {
 		case u.isSJmp:
 			// handled below
-		case u.inst.Op.IsBranch():
+		case u.cl == isa.ClassBranch:
 			c.Stats.Branches++
 			c.BP.UpdateBranch(u.pc, u.actualTaken)
 			if c.BranchWatch != nil {
@@ -83,8 +87,11 @@ func (c *Core) retire() error {
 
 		// Pop from the ROB before any controller action so that the
 		// controller sees an empty window (drains guarantee it).
-		c.rob[c.robHead] = nil
-		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+		c.rob[c.robHead] = nilRef
+		c.robHead++
+		if c.robHead >= c.cfg.ROBSize {
+			c.robHead = 0
+		}
 		c.robCount--
 		c.Stats.Insts++
 		c.lastCommitCycle = c.cycle
@@ -94,21 +101,21 @@ func (c *Core) retire() error {
 			c.Stats.Branches++
 			c.Stats.SJmps++
 			err := c.commitSJmp(u)
-			c.pool.put(u)
+			c.pool.put(i)
 			return err // snapshot serializes the rest of the cycle
 		case u.isEOSJmp:
 			c.Stats.EOSJmps++
 			err := c.commitEOSJmp(u)
-			c.pool.put(u)
+			c.pool.put(i)
 			return err
 		case u.inst.Op == isa.OpHalt:
 			c.halted = true
-			c.pool.put(u)
+			c.pool.put(i)
 			return nil
 		}
 		// The ROB held the last reference (mem ops left lq/sq above, and a
 		// committed op was dropped from exec when it completed).
-		c.pool.put(u)
+		c.pool.put(i)
 	}
 	return nil
 }
@@ -202,6 +209,7 @@ func (c *Core) applyRegs(vals *[isa.NumArchRegs]uint64, mask uint64) {
 		p := c.rat[r]
 		c.physVal[p] = vals[r]
 		c.physReady[p] = true
+		c.wakePreg(p)
 	}
 }
 
@@ -215,11 +223,18 @@ func (c *Core) markModified(rd isa.Reg) {
 	c.SPM.MarkModified(rd, c.inTScratch)
 }
 
-func removeBySeq(q []*uop, seq uint64) []*uop {
+// removeHead drops i from q. The committing op is q's head in every
+// reachable state (memory queues are program-ordered); the scan fallback
+// keeps the function total if that invariant is ever disturbed.
+func removeHead(q []uref, i uref) []uref {
+	if len(q) > 0 && q[0] == i {
+		copy(q, q[1:])
+		return q[:len(q)-1]
+	}
 	out := q[:0]
-	for _, u := range q {
-		if u.seq != seq {
-			out = append(out, u)
+	for _, v := range q {
+		if v != i {
+			out = append(out, v)
 		}
 	}
 	return out

@@ -74,6 +74,13 @@ type Config struct {
 	StreamWindow         int
 	StreamDepth          int
 
+	// DisableSuperblock forces this core onto the legacy per-instruction
+	// fetch walk instead of the cached-trace replay path (superblock.go).
+	// The two are cycle-identical by construction; the switch exists for
+	// differential testing and as an escape hatch. The process-wide default
+	// can also be flipped with SetSuperblockDefault.
+	DisableSuperblock bool
+
 	// MaxCycles aborts runaway simulations (0 = no limit).
 	MaxCycles uint64
 	// WatchdogCycles aborts when no instruction commits for this many

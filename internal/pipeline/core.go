@@ -3,6 +3,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -11,6 +12,19 @@ import (
 	"repro/internal/prefetch"
 	"repro/internal/sempe"
 )
+
+// superblockDefaultOn is the process-wide default for the superblock engine,
+// captured by New into each core. It exists for differential testing (run
+// the same grid with the engine force-disabled and diff the artifacts) and
+// is not meant to be toggled mid-run: cores read it once at construction.
+var superblockDefaultOn atomic.Bool
+
+func init() { superblockDefaultOn.Store(true) }
+
+// SetSuperblockDefault flips the process-wide superblock default and returns
+// the previous value. Tests use it to run entire scenario grids with the
+// cached-trace front end off; per-core control is Config.DisableSuperblock.
+func SetSuperblockDefault(on bool) bool { return superblockDefaultOn.Swap(on) }
 
 // Core is one simulated processor instance. A Core runs a single program to
 // completion; construct a fresh Core per run.
@@ -35,37 +49,76 @@ type Core struct {
 	halted   bool
 
 	// Rename structures.
-	rat       [isa.NumArchRegs]int
+	rat       [isa.NumArchRegs]int16
 	physVal   []uint64
 	physReady []bool
-	freeList  []int
+	freeList  []int16
 
-	// Reorder buffer: a ring of in-flight micro-ops.
-	rob      []*uop
+	// Reorder buffer: a ring of in-flight micro-op references.
+	rob      []uref
 	robHead  int
 	robCount int
 
-	// Scheduler and memory queues (kept in program order).
-	iq   []*uop
-	lq   []*uop
-	sq   []*uop
-	exec []*uop
+	// Scheduler. The issue queue is event-driven rather than scanned: a
+	// dispatched micro-op counts its not-yet-ready sources (notReady) and
+	// registers itself on the waiter list of each pending physical register;
+	// when a register is written (writeback or an ArchRS restore) its waiters
+	// are woken, and ops whose count hits zero are inserted seq-ordered into
+	// readyList. issue therefore touches only ready work — selection order
+	// and outcome are identical to an oldest-first full scan, at O(ready)
+	// instead of O(IQSize) per cycle. iqCount tracks occupancy for the
+	// dispatch structural check (the queue itself has no other use).
+	// readyList is a fixed-capacity buffer (IQSize) with an explicit count:
+	// insertions and compaction never store a slice header back into the
+	// Core, so the per-wakeup traffic incurs no GC write barriers.
+	iqCount      int
+	readyList    []uref
+	readyCount   int
+	waitHead     []int32 // per-physreg chain head into waitNodes, -1 empty
+	waitNodes    []waitNode
+	waitFreeHead int32 // free-node chain through waitNode.next, -1 empty
+
+	// Memory queues (kept in program order).
+	lq []uref
+	sq []uref
+
+	// Completion calendar: executed micro-ops are filed into a time-wheel
+	// bucket keyed by doneCycle, chained through calNext (parallel to the
+	// uop arena), so writeback touches exactly the ops completing this cycle
+	// instead of re-scanning everything in flight. The wheel is sized at New
+	// to exceed the largest latency execute can produce; calOverflow catches
+	// anything longer (unreachable with sane configs) with a linear scan.
+	// Squashed ops stay filed and are reclaimed when their bucket drains.
+	calBuckets  []int32 // per-slot chain head (uref), -1 empty
+	calNext     []int32 // parallel to pool.arena: next op in the same bucket
+	calMask     uint64
+	calOverflow []uref
+	execCount   int    // scheduled, not-yet-drained ops (incl. squashed)
+	wbScratch   []uref // writeback's per-cycle due list
 
 	// Front end.
 	fetchPC         uint64
 	fetchStallUntil uint64
-	fetchHalted     bool // fetched a HALT; wait for commit or flush
-	fetchBroken     bool // undecodable bytes (wrong path); wait for flush
-	fetchBuf        uopRing
-	decodeQ         uopRing
+	fetchHalted     bool   // fetched a HALT; wait for commit or flush
+	fetchBroken     bool   // undecodable bytes (wrong path); wait for flush
+	fe              feRing // fused fetch buffer + decode queue
 
 	// Pre-decode cache, indexed by pc-CodeBase: each static instruction is
 	// decoded once, not on every fetch of the same pc.
 	decoded []predec
 
+	// Superblock engine (see superblock.go): cached decoded straight-line
+	// traces replayed by fetch, plus the replay cursor.
+	sbOff    bool // engine disabled for this core (config or process default)
+	sbIndex  []int32
+	sbBlocks []superblock
+	sbCur    int32 // block being replayed, -1 when none
+	sbCurIdx int32 // next entry within sbCur
+	SBStats  SuperblockStats
+
 	// Micro-op recycling (zero-alloc steady state).
 	pool      uopPool
-	squashTmp []*uop // scratch for flushAfter's deferred frees
+	squashTmp []uref // scratch for flushAfter's deferred frees
 
 	// SeMPE sequencing. renameBlocked holds rename while an eosJMP is in
 	// flight (pipeline drain 2/3 of the paper's Fig. 6); renameStallUntil
@@ -93,7 +146,10 @@ type Core struct {
 	// into per-segment timings an attacker program "measures". BranchWatch,
 	// when non-nil, sees every committed conditional branch with its outcome
 	// and whether it mispredicted. Both are nil in normal runs and cost one
-	// nil check per committed op.
+	// nil check per committed op. Arming either hook also steers fetch onto
+	// the legacy per-instruction walk (see fetch) — replayed traces are
+	// cycle-identical by construction, but the attack lab's observation
+	// streams stay pinned to the code path they were validated on.
 	MemWatch    func(addr uint64, write bool, cycle uint64)
 	BranchWatch func(pc uint64, taken, mispredicted bool, cycle uint64)
 
@@ -101,6 +157,22 @@ type Core struct {
 
 	Stats Stats
 }
+
+// SuperblockStats counts superblock-engine activity. It lives outside Stats
+// so artifact rows never serialize it: replay counts differ between
+// superblock-enabled and force-disabled runs of the same program even though
+// every architectural and cycle-level observable is identical.
+type SuperblockStats struct {
+	Builds     uint64 // superblocks constructed
+	Replays    uint64 // instructions fetched via cached traces
+	LegacyOps  uint64 // instructions fetched via the per-instruction walk
+	FastTAGE   uint64 // (reserved) predictor fast-path hits, see bpred
+	Invalidate uint64 // cursor invalidations from redirects
+}
+
+// u resolves a micro-op reference. The returned pointer must not be held
+// across a pool get/getRaw call (arena growth moves the backing array).
+func (c *Core) u(i uref) *uop { return &c.pool.arena[i] }
 
 // Errors returned by Run.
 var (
@@ -119,25 +191,35 @@ func New(cfg Config, prog *isa.Program) *Core {
 // NewOnMemory builds a core running prog on an existing memory image.
 func NewOnMemory(cfg Config, prog *isa.Program, memory *mem.Memory) *Core {
 	c := &Core{
-		cfg:       cfg,
-		prog:      prog,
-		mem:       memory,
-		Hier:      cache.NewHierarchy(cfg.Caches),
-		BP:        bpred.NewUnit(),
-		JB:        sempe.NewJBTable(cfg.SPM.Slots),
-		SPM:       mem.NewSPM(cfg.SPM),
-		physVal:   make([]uint64, cfg.PhysRegs),
-		physReady: make([]bool, cfg.PhysRegs),
-		rob:       make([]*uop, cfg.ROBSize),
-		iq:        make([]*uop, 0, cfg.IQSize),
-		lq:        make([]*uop, 0, cfg.LQSize),
-		sq:        make([]*uop, 0, cfg.SQSize),
-		exec:      make([]*uop, 0, cfg.ROBSize),
-		freeList:  make([]int, 0, cfg.PhysRegs),
-		fetchBuf:  newUopRing(cfg.FetchBufSize),
-		decodeQ:   newUopRing(cfg.DecodeQSize),
-		decoded:   make([]predec, len(prog.Code)),
-		fetchPC:   prog.Entry,
+		cfg:          cfg,
+		prog:         prog,
+		mem:          memory,
+		Hier:         cache.NewHierarchy(cfg.Caches),
+		BP:           bpred.NewUnit(),
+		JB:           sempe.NewJBTable(cfg.SPM.Slots),
+		SPM:          mem.NewSPM(cfg.SPM),
+		physVal:      make([]uint64, cfg.PhysRegs),
+		physReady:    make([]bool, cfg.PhysRegs),
+		rob:          make([]uref, cfg.ROBSize),
+		readyList:    make([]uref, cfg.IQSize),
+		waitHead:     make([]int32, cfg.PhysRegs),
+		waitNodes:    make([]waitNode, 0, 4*cfg.IQSize),
+		waitFreeHead: -1,
+		lq:           make([]uref, 0, cfg.LQSize),
+		sq:           make([]uref, 0, cfg.SQSize),
+		wbScratch:    make([]uref, 0, cfg.ROBSize+8),
+		freeList:     make([]int16, 0, cfg.PhysRegs),
+		fe:           newFERing(cfg.DecodeQSize, cfg.FetchBufSize),
+		decoded:      make([]predec, len(prog.Code)),
+		fetchPC:      prog.Entry,
+		sbCur:        -1,
+	}
+	c.sbOff = cfg.DisableSuperblock || !superblockDefaultOn.Load()
+	if !c.sbOff {
+		c.sbIndex = make([]int32, len(prog.Code))
+		for i := range c.sbIndex {
+			c.sbIndex[i] = -1
+		}
 	}
 	if cfg.StridePrefetchTable > 0 {
 		c.stridePF = prefetch.NewStride(c.Hier.DL1, cfg.StridePrefetchTable, cfg.StridePrefetchDegree)
@@ -147,15 +229,35 @@ func NewOnMemory(cfg Config, prog *isa.Program, memory *mem.Memory) *Core {
 		c.streamPF = prefetch.NewStream(c.Hier.L2, cfg.StreamWindow, cfg.StreamDepth)
 		c.Hier.L2.SetObserver(c.streamPF)
 	}
+	for p := range c.waitHead {
+		c.waitHead[p] = -1
+	}
+	// Size the completion wheel past the longest latency execute can charge:
+	// a load that misses DL1 and L2 and goes to memory, or the slowest ALU op.
+	maxLat := cfg.LatAGU + cfg.Caches.DL1.HitLatency + cfg.Caches.L2.HitLatency + cfg.Caches.MemLatency
+	for _, l := range []int{cfg.LatBranch, cfg.LatALU, cfg.LatMul, cfg.LatDiv} {
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	wheel := 1
+	for wheel < maxLat+2 {
+		wheel <<= 1
+	}
+	c.calBuckets = make([]int32, wheel)
+	for i := range c.calBuckets {
+		c.calBuckets[i] = -1
+	}
+	c.calMask = uint64(wheel - 1)
 	// Initial rename map: architectural register r lives in physical r.
 	c.archRegs[isa.SP] = isa.DefaultStackTop
 	for r := 0; r < isa.NumArchRegs; r++ {
-		c.rat[r] = r
+		c.rat[r] = int16(r)
 		c.physVal[r] = c.archRegs[r]
 		c.physReady[r] = true
 	}
 	for p := isa.NumArchRegs; p < cfg.PhysRegs; p++ {
-		c.freeList = append(c.freeList, p)
+		c.freeList = append(c.freeList, int16(p))
 	}
 	c.commitDigest = fnvOffset
 	c.memDigest = fnvOffset
@@ -203,6 +305,34 @@ func (c *Core) Run() error {
 // StepCycle advances the machine one clock. Stages run in reverse pipeline
 // order so that each consumes state produced in earlier cycles.
 func (c *Core) StepCycle() error {
+	// Idle fast-forward: when the whole window is empty and the only pending
+	// event is the front end waking from an IL1-miss stall, every intervening
+	// cycle does exactly one thing — increment FetchStallCycles. Batch those
+	// cycles in one step. This is cycle-exact by construction: no queue holds
+	// work, rename is neither blocked nor SPM-stalled (so no Drain/SPM stall
+	// counters would tick), and fetch cannot run before fetchStallUntil. The
+	// jump is clamped so Run's MaxCycles and watchdog checks fire on the same
+	// cycle they would have.
+	if c.cycle+1 < c.fetchStallUntil &&
+		c.robCount == 0 && c.iqCount == 0 && c.execCount == 0 &&
+		c.fe.empty() &&
+		!c.renameBlocked && c.renameStallUntil <= c.cycle+1 &&
+		!c.fetchHalted && !c.fetchBroken && !c.halted {
+		target := c.fetchStallUntil - 1 // last idle cycle
+		if c.cfg.MaxCycles > 0 && target > c.cfg.MaxCycles {
+			target = c.cfg.MaxCycles // Run errors at MaxCycles+1, reached below
+		}
+		if c.cfg.WatchdogCycles > 0 {
+			if wd := c.lastCommitCycle + c.cfg.WatchdogCycles; target > wd {
+				target = wd // Run's watchdog trips at wd+1, reached below
+			}
+		}
+		if target > c.cycle {
+			skipped := target - c.cycle
+			c.cycle = target
+			c.Stats.FetchStallCycles += skipped
+		}
+	}
 	c.cycle++
 	c.Stats.Cycles = c.cycle
 	if err := c.retire(); err != nil {

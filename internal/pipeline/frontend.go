@@ -7,9 +7,73 @@ import (
 
 // predec is one pre-decode cache entry. size==0 means not yet decoded;
 // size<0 means the bytes at this pc are undecodable (wrong-path fetch).
+// Alongside the decoded instruction it caches every piece of per-op
+// metadata that is a pure function of the instruction bytes, so neither
+// fetch path nor rename re-derives it per dynamic instruction.
 type predec struct {
 	inst isa.Inst
 	size int8
+
+	cl               isa.Class
+	sra1, sra2, sra3 int8 // arch sources for ps1..ps3, -1 unused
+	writesRd         bool
+	isLoad, isStore  bool
+	memWidth         uint8
+}
+
+// fillStatic derives the cached static metadata from d.inst. The source
+// mapping mirrors renameOne's historical per-class switch exactly
+// (including the default case taking at most the first two SrcRegs).
+func fillStatic(d *predec) {
+	in := d.inst
+	d.cl = in.Op.ClassOf()
+	d.sra1, d.sra2, d.sra3 = -1, -1, -1
+	d.writesRd = in.WritesRd()
+	switch {
+	case d.cl == isa.ClassStore:
+		d.sra1, d.sra3 = int8(in.Ra), int8(in.Rd) // address base, store data
+		d.isStore = true
+		d.memWidth = uint8(isa.MemWidth(in.Op))
+	case d.cl == isa.ClassLoad:
+		d.sra1 = int8(in.Ra)
+		d.isLoad = true
+		d.memWidth = uint8(isa.MemWidth(in.Op))
+	case d.cl == isa.ClassCMov:
+		d.sra1, d.sra2 = int8(in.Ra), int8(in.Rb)
+		d.sra3 = int8(in.Rd) // old destination value
+	case d.cl == isa.ClassBranch:
+		d.sra1, d.sra2 = int8(in.Ra), int8(in.Rb)
+	case in.Op == isa.OpJalr:
+		d.sra1 = int8(in.Ra)
+	default:
+		var srcs [3]isa.Reg
+		ss := in.SrcRegs(srcs[:0])
+		if len(ss) > 0 {
+			d.sra1 = int8(ss[0])
+		}
+		if len(ss) > 1 {
+			d.sra2 = int8(ss[1])
+		}
+	}
+}
+
+// predecAt returns the pre-decode entry for code offset off, decoding and
+// filling it on first touch. A nil return means the bytes are undecodable.
+func (c *Core) predecAt(off int) *predec {
+	d := &c.decoded[off]
+	if d.size == 0 {
+		inst, size, err := isa.Decode(c.prog.Code, off)
+		if err != nil {
+			d.size = -1
+		} else {
+			d.inst, d.size = inst, int8(size)
+			fillStatic(d)
+		}
+	}
+	if d.size < 0 {
+		return nil
+	}
+	return d
 }
 
 // fetch reads and predecodes up to FetchWidth instructions per cycle from
@@ -17,9 +81,15 @@ type predec struct {
 // touched and the branch predictors for control flow. Secure branches are
 // never predicted: under SeMPE an sJMP always falls through into the
 // not-taken path, so the fetch stream carries no information about the
-// secret (and the predictor state is never updated by it). Decoded
-// instructions are cached per pc, so each static instruction is decoded
-// once per run rather than on every dynamic fetch.
+// secret (and the predictor state is never updated by it).
+//
+// Two implementations produce identical cycle-level behavior: the legacy
+// per-instruction walk (decode, classify, and predecode each pc on every
+// dynamic fetch) and the superblock replay path (superblock.go), which
+// copies prototype micro-ops out of cached straight-line traces. The replay
+// path is used whenever the engine is enabled and no observation hook is
+// armed; arming MemWatch/BranchWatch pins the attack lab's observation
+// streams to the code path they were validated on.
 func (c *Core) fetch() {
 	if c.fetchHalted || c.fetchBroken {
 		return
@@ -28,8 +98,18 @@ func (c *Core) fetch() {
 		c.Stats.FetchStallCycles++
 		return
 	}
+	if c.sbOff || c.MemWatch != nil || c.BranchWatch != nil {
+		c.fetchLegacy()
+		return
+	}
+	c.fetchSuperblock()
+}
+
+// fetchLegacy is the per-instruction fetch walk (the pre-superblock code
+// path, kept as the fallback and differential-testing reference).
+func (c *Core) fetchLegacy() {
 	var lastLine uint64 = ^uint64(0)
-	for n := 0; n < c.cfg.FetchWidth && !c.fetchBuf.full(); n++ {
+	for n := 0; n < c.cfg.FetchWidth && !c.fe.fetchFull(); n++ {
 		pc := c.fetchPC
 		if pc < c.prog.CodeBase || pc >= c.prog.CodeEnd() {
 			// Fetch wandered outside the code image: only possible on a
@@ -38,16 +118,8 @@ func (c *Core) fetch() {
 			return
 		}
 		off := int(pc - c.prog.CodeBase)
-		d := &c.decoded[off]
-		if d.size == 0 {
-			inst, size, err := isa.Decode(c.prog.Code, off)
-			if err != nil {
-				d.size = -1
-			} else {
-				d.inst, d.size = inst, int8(size)
-			}
-		}
-		if d.size < 0 {
+		d := c.predecAt(off)
+		if d == nil {
 			c.fetchBroken = true
 			return
 		}
@@ -67,15 +139,22 @@ func (c *Core) fetch() {
 			}
 		}
 
-		u := c.pool.get()
+		i := c.pool.get()
+		u := c.u(i)
 		u.seq = c.seq
 		u.inst = d.inst
 		u.pc = pc
 		u.npc = pc + uint64(size)
+		u.cl = d.cl
+		u.sra1, u.sra2, u.sra3 = d.sra1, d.sra2, d.sra3
+		u.writesRd = d.writesRd
+		u.isLoad, u.isStore = d.isLoad, d.isStore
+		u.memWidth = d.memWidth
 		c.seq++
+		c.SBStats.LegacyOps++
 
 		redirected := c.predecode(u)
-		c.fetchBuf.push(u)
+		c.fe.pushFetched(i)
 		if u.inst.Op == isa.OpHalt {
 			c.fetchHalted = true
 			return
@@ -89,7 +168,9 @@ func (c *Core) fetch() {
 
 // predecode sets the front-end prediction state of u and advances fetchPC.
 // It reports whether the fetch group must end because of a (predicted-)
-// taken control transfer.
+// taken control transfer. Both fetch paths funnel every control-flow or
+// SeMPE-marker instruction through here, so prediction, RAS traffic, and
+// sJMP/eosJMP marking have a single source of truth.
 func (c *Core) predecode(u *uop) bool {
 	in := u.inst
 	secureMode := c.cfg.SeMPE
@@ -156,13 +237,10 @@ func (c *Core) predecode(u *uop) bool {
 	}
 }
 
-// decode moves predecoded micro-ops into the decode queue.
+// decode moves predecoded micro-ops into the decode queue. The two buffers
+// share one ring (feRing), so the move is a boundary shift, not a copy.
 func (c *Core) decode() {
-	n := 0
-	for n < c.cfg.DecodeWidth && c.fetchBuf.len() > 0 && !c.decodeQ.full() {
-		c.decodeQ.push(c.fetchBuf.pop())
-		n++
-	}
+	c.fe.decodeAdvance(c.cfg.DecodeWidth)
 }
 
 // rename allocates physical registers and dispatches micro-ops into the
@@ -179,8 +257,10 @@ func (c *Core) rename() {
 		c.Stats.SPMStallCycles++
 		return
 	}
-	for n := 0; n < c.cfg.RenameWidth && c.decodeQ.len() > 0; n++ {
-		u := c.decodeQ.front()
+	arena := c.pool.arena
+	for n := 0; n < c.cfg.RenameWidth && c.fe.decLen() > 0; n++ {
+		i := c.fe.frontDec()
+		u := &arena[i]
 		if c.cfg.SeMPE && (u.isSJmp || u.isEOSJmp) && c.robCount > 0 {
 			// Drain: wait until every older instruction has committed.
 			c.Stats.DrainStallCycles++
@@ -189,8 +269,8 @@ func (c *Core) rename() {
 		if !c.dispatchReady(u) {
 			return
 		}
-		c.decodeQ.pop()
-		c.renameOne(u)
+		c.fe.popDec()
+		c.renameOne(i, u)
 		if c.cfg.SeMPE && u.isEOSJmp {
 			// Stay drained until the eosJMP commits and the ArchRS
 			// controller has restored register state.
@@ -205,12 +285,10 @@ func (c *Core) dispatchReady(u *uop) bool {
 	if c.robCount >= c.cfg.ROBSize {
 		return false
 	}
-	needsDest := u.inst.WritesRd()
-	if needsDest && len(c.freeList) == 0 {
+	if u.writesRd && len(c.freeList) == 0 {
 		return false
 	}
-	cl := u.class()
-	switch cl {
+	switch u.cl {
 	case isa.ClassLoad:
 		if len(c.lq) >= c.cfg.LQSize {
 			return false
@@ -220,61 +298,46 @@ func (c *Core) dispatchReady(u *uop) bool {
 			return false
 		}
 	}
-	if cl != isa.ClassSys && len(c.iq) >= c.cfg.IQSize {
+	if u.cl != isa.ClassSys && c.iqCount >= c.cfg.IQSize {
 		return false
 	}
 	return true
 }
 
-// renameOne performs register renaming and dispatch for one micro-op.
-func (c *Core) renameOne(u *uop) {
-	in := u.inst
+// renameOne performs register renaming and dispatch for one micro-op. The
+// per-class source analysis was done once at predecode (fillStatic); here
+// it is three rename-map lookups. u must be c.u(i).
+func (c *Core) renameOne(i uref, u *uop) {
 	u.ps1, u.ps2, u.ps3 = -1, -1, -1
-	cl := u.class()
-
-	switch {
-	case cl == isa.ClassStore:
-		u.ps1 = c.rat[in.Ra] // address base
-		u.ps3 = c.rat[in.Rd] // store data
-		u.isStore = true
-		u.memWidth = isa.MemWidth(in.Op)
-	case cl == isa.ClassLoad:
-		u.ps1 = c.rat[in.Ra]
-		u.isLoad = true
-		u.memWidth = isa.MemWidth(in.Op)
-	case cl == isa.ClassCMov:
-		u.ps1 = c.rat[in.Ra]
-		u.ps2 = c.rat[in.Rb]
-		u.ps3 = c.rat[in.Rd] // old destination value
-	case cl == isa.ClassBranch:
-		u.ps1 = c.rat[in.Ra]
-		u.ps2 = c.rat[in.Rb]
-	case in.Op == isa.OpJalr:
-		u.ps1 = c.rat[in.Ra]
-	default:
-		var srcs [3]isa.Reg
-		for _, r := range in.SrcRegs(srcs[:0]) {
-			if u.ps1 < 0 {
-				u.ps1 = c.rat[r]
-			} else if u.ps2 < 0 {
-				u.ps2 = c.rat[r]
-			}
-		}
+	if u.sra1 >= 0 {
+		u.ps1 = c.rat[u.sra1]
+	}
+	if u.sra2 >= 0 {
+		u.ps2 = c.rat[u.sra2]
+	}
+	if u.sra3 >= 0 {
+		u.ps3 = c.rat[u.sra3]
 	}
 
 	u.pd, u.oldPd = -1, -1
-	if in.WritesRd() {
+	if u.writesRd {
+		rd := u.inst.Rd
 		u.hasDest = true
-		u.oldPd = c.rat[in.Rd]
+		u.oldPd = c.rat[rd]
 		u.pd = c.freeList[len(c.freeList)-1]
 		c.freeList = c.freeList[:len(c.freeList)-1]
 		c.physReady[u.pd] = false
-		c.rat[in.Rd] = u.pd
+		c.rat[rd] = u.pd
 	}
+	cl := u.cl
 
-	// ROB allocation.
-	pos := (c.robHead + c.robCount) % c.cfg.ROBSize
-	c.rob[pos] = u
+	// ROB allocation (the ring size is not a power of two, so wrap with a
+	// compare instead of a modulo — this is per-rename hot-path arithmetic).
+	pos := c.robHead + c.robCount
+	if pos >= c.cfg.ROBSize {
+		pos -= c.cfg.ROBSize
+	}
+	c.rob[pos] = i
 	c.robCount++
 
 	switch cl {
@@ -282,30 +345,52 @@ func (c *Core) renameOne(u *uop) {
 		// NOP, HALT, eosJMP: nothing to execute.
 		u.completed = true
 		u.doneCycle = c.cycle
+		return
 	case isa.ClassLoad:
-		c.lq = append(c.lq, u)
-		c.iq = append(c.iq, u)
+		c.lq = append(c.lq, i)
 	case isa.ClassStore:
-		c.sq = append(c.sq, u)
-		c.iq = append(c.iq, u)
-	default:
-		c.iq = append(c.iq, u)
+		c.sq = append(c.sq, i)
+	}
+	c.iqCount++
+
+	// Wakeup registration: count pending sources and subscribe to their
+	// producing registers; an op with none is ready immediately.
+	nr := int8(0)
+	if u.ps1 >= 0 && !c.physReady[u.ps1] {
+		nr++
+		c.regWait(u.ps1, i, u.seq)
+	}
+	if u.ps2 >= 0 && !c.physReady[u.ps2] {
+		nr++
+		c.regWait(u.ps2, i, u.seq)
+	}
+	if u.ps3 >= 0 && !c.physReady[u.ps3] {
+		nr++
+		c.regWait(u.ps3, i, u.seq)
+	}
+	u.notReady = nr
+	if nr == 0 {
+		c.readyInsert(i)
 	}
 }
 
 // flushAfter squashes every micro-op younger than u, repairs the rename map
 // by walking the ROB from youngest to oldest, and redirects fetch to target.
 // Squashed ops are recycled into the pool immediately unless they are still
-// in flight in exec; those stay marked squashed and writeback recycles them
-// when it drops them (recycling here would leave exec holding dangling,
-// possibly-reused micro-ops mid-iteration).
+// in flight in the completion calendar; those stay marked squashed and
+// writeback recycles them when their bucket drains (recycling here would
+// let the slot be reused while the calendar still references it).
 func (c *Core) flushAfter(u *uop, target uint64) {
 	c.Stats.Flushes++
 	// Walk the ROB backwards, undoing rename state.
 	c.squashTmp = c.squashTmp[:0]
 	for c.robCount > 0 {
-		pos := (c.robHead + c.robCount - 1) % c.cfg.ROBSize
-		y := c.rob[pos]
+		pos := c.robHead + c.robCount - 1
+		if pos >= c.cfg.ROBSize {
+			pos -= c.cfg.ROBSize
+		}
+		yi := c.rob[pos]
+		y := c.u(yi)
 		if y.seq <= u.seq {
 			break
 		}
@@ -314,22 +399,36 @@ func (c *Core) flushAfter(u *uop, target uint64) {
 			c.freeList = append(c.freeList, y.pd)
 		}
 		y.squashed = true
-		c.rob[pos] = nil
+		c.rob[pos] = nilRef
 		c.robCount--
-		c.squashTmp = append(c.squashTmp, y)
+		c.squashTmp = append(c.squashTmp, yi)
 	}
-	c.iq = filterSquashed(c.iq)
-	c.lq = filterSquashed(c.lq)
-	c.sq = filterSquashed(c.sq)
-	// exec is not compacted here: writeback iterates it and drops squashed
-	// entries itself (compacting the shared backing array mid-iteration
-	// would corrupt the walk).
-	for i, y := range c.squashTmp {
-		if !(y.issued && !y.completed) {
-			// Not in exec: every remaining reference was just removed.
-			c.pool.put(y)
+	kept := 0
+	for idx := 0; idx < c.readyCount; idx++ {
+		i := c.readyList[idx]
+		if !c.pool.arena[i].squashed {
+			c.readyList[kept] = i
+			kept++
 		}
-		c.squashTmp[i] = nil
+	}
+	c.readyCount = kept
+	c.lq = c.filterSquashed(c.lq)
+	c.sq = c.filterSquashed(c.sq)
+	// Waiter lists are cleaned lazily: wakePreg drops squashed entries by
+	// their seq check, and the completion calendar reclaims squashed
+	// in-flight ops when their buckets drain.
+	for _, yi := range c.squashTmp {
+		y := c.u(yi)
+		if y.issued && !y.completed {
+			// Still filed in the completion calendar: writeback reclaims it
+			// when its bucket drains at doneCycle.
+		} else {
+			// Not in exec: every remaining reference was just removed.
+			if !y.issued && y.cl != isa.ClassSys {
+				c.iqCount--
+			}
+			c.pool.put(yi)
+		}
 	}
 	c.redirectFrontEnd(target)
 }
@@ -339,23 +438,26 @@ func (c *Core) flushAfter(u *uop, target uint64) {
 // renamed, so the front-end buffers hold their only references and they can
 // be recycled directly.
 func (c *Core) redirectFrontEnd(target uint64) {
-	for c.fetchBuf.len() > 0 {
-		c.pool.put(c.fetchBuf.pop())
-	}
-	for c.decodeQ.len() > 0 {
-		c.pool.put(c.decodeQ.pop())
+	for !c.fe.empty() {
+		c.pool.put(c.fe.popAny())
 	}
 	c.fetchPC = target
 	c.fetchHalted = false
 	c.fetchBroken = false
 	c.fetchStallUntil = c.cycle + uint64(c.cfg.RedirectPenalty)
+	// The superblock cursor is pc-validated, so leaving it would still be
+	// correct; dropping it on every redirect keeps the invariant trivial.
+	if c.sbCur >= 0 {
+		c.sbCur = -1
+		c.SBStats.Invalidate++
+	}
 }
 
-func filterSquashed(q []*uop) []*uop {
+func (c *Core) filterSquashed(q []uref) []uref {
 	out := q[:0]
-	for _, u := range q {
-		if !u.squashed {
-			out = append(out, u)
+	for _, i := range q {
+		if !c.u(i).squashed {
+			out = append(out, i)
 		}
 	}
 	return out

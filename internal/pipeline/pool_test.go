@@ -13,7 +13,8 @@ import (
 // next instruction that lands in the same slot.
 func TestUopPoolResetOnReuse(t *testing.T) {
 	var p uopPool
-	u := p.get()
+	i := p.get()
+	u := &p.arena[i]
 	u.seq = 99
 	u.ps1, u.ps2, u.ps3 = 7, 8, 9
 	u.pd, u.oldPd = 10, 11
@@ -26,14 +27,31 @@ func TestUopPoolResetOnReuse(t *testing.T) {
 	u.predTaken, u.actualTaken, u.mispredict = true, true, true
 	u.isSJmp, u.isEOSJmp = true, true
 	u.squashed = true
-	p.put(u)
+	p.put(i)
 
 	got := p.get()
-	if got != u {
-		t.Fatalf("pool did not recycle: got %p want %p", got, u)
+	if got != i {
+		t.Fatalf("pool did not recycle: got slot %d want %d", got, i)
 	}
-	if *got != (uop{}) {
-		t.Errorf("recycled uop not zeroed: %+v", *got)
+	if p.arena[got] != (uop{}) {
+		t.Errorf("recycled uop not zeroed: %+v", p.arena[got])
+	}
+}
+
+// TestUopPoolGetRawSkipsZeroing documents the superblock-replay contract:
+// getRaw hands back a dirty slot (the caller overwrites the whole struct
+// with a prototype), while get zeroes it.
+func TestUopPoolGetRawSkipsZeroing(t *testing.T) {
+	var p uopPool
+	i := p.get()
+	p.arena[i].seq = 42
+	p.put(i)
+	j := p.getRaw()
+	if j != i {
+		t.Fatalf("pool did not recycle: got slot %d want %d", j, i)
+	}
+	if p.arena[j].seq != 42 {
+		t.Errorf("getRaw zeroed the slot; want stale seq 42, got %d", p.arena[j].seq)
 	}
 }
 
@@ -41,10 +59,10 @@ func TestUopPoolResetOnReuse(t *testing.T) {
 func TestUopRingFIFO(t *testing.T) {
 	r := newUopRing(4)
 	var p uopPool
-	us := make([]*uop, 6)
+	us := make([]uref, 6)
 	for i := range us {
 		us[i] = p.get()
-		us[i].seq = uint64(i)
+		p.arena[us[i]].seq = uint64(i)
 	}
 	r.push(us[0])
 	r.push(us[1])
@@ -59,8 +77,8 @@ func TestUopRingFIFO(t *testing.T) {
 		t.Errorf("ring with 4 entries of capacity 4 not full")
 	}
 	for want := 2; want <= 5; want++ {
-		if got := r.pop(); got.seq != uint64(want) {
-			t.Errorf("pop = seq %d, want %d", got.seq, want)
+		if got := r.pop(); p.arena[got].seq != uint64(want) {
+			t.Errorf("pop = seq %d, want %d", p.arena[got].seq, want)
 		}
 	}
 	if r.len() != 0 {

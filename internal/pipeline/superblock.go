@@ -1,0 +1,231 @@
+package pipeline
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// Superblock engine: the front end caches decoded straight-line traces
+// ("superblocks") and replays them on re-entry instead of re-walking the
+// per-instruction decode/classify/predecode machinery.
+//
+// A superblock is the run of static instructions starting at some pc and
+// ending at the first unconditional transfer (JMP/JAL/JALR), HALT,
+// undecodable byte, end of the code image, or the sbMaxEntries cap.
+// Conditional branches and SeMPE markers do NOT end a block: their dynamic
+// behavior (prediction, RAS traffic, sJMP/eosJMP marking) is resolved at
+// replay time by calling the same predecode used by the legacy walk, so a
+// block replays correctly whether the branch falls through (replay
+// continues inside the block) or redirects (the fetch group ends and the
+// cursor is dropped).
+//
+// Each entry carries a prototype micro-op with everything that is a pure
+// function of the instruction bytes precomputed — decoded instruction, pc,
+// npc, functional-unit class — plus the IL1 line addresses its bytes touch.
+// Replay copies the prototype over a raw pool slot, assigns the dynamic
+// sequence number, charges the IL1 exactly like the legacy walk (same
+// last-line dedup, same miss-retry recharging), and runs predecode only for
+// entries whose front-end behavior is dynamic. Prediction state, cache
+// state, stall cycles, and the fetch group shape are therefore identical to
+// the legacy path by construction; the differential scenario test
+// (superblock_test.go) asserts this end to end.
+//
+// The replay cursor (sbCur/sbCurIdx) is self-validating: it is only resumed
+// when the entry it points at matches fetchPC, so redirects, IL1-miss
+// retries, and block exhaustion need no invalidation bookkeeping beyond the
+// pc check. Blocks cache nothing about cache/predictor state, so there are
+// no staleness edges to invalidate for; the only way a cached block could
+// go stale is the program's code bytes changing, which cannot happen within
+// a run (the ISA has no stores to the code image) — across runs every
+// pipeline.New starts with an empty superblock cache.
+
+// sbKind classifies how an entry's front-end behavior is produced at replay.
+type sbKind uint8
+
+const (
+	// sbSeq: plain sequential instruction; predecode would take its default
+	// case, so replay fast-forwards fetchPC = npc without calling it.
+	sbSeq sbKind = iota
+	// sbPredecode: control flow or SeMPE marker; replay calls predecode so
+	// prediction and marking stay on the single code path.
+	sbPredecode
+	// sbHalt: HALT; sequential predecode plus the fetch-side halt latch.
+	sbHalt
+)
+
+// sbMaxEntries caps a superblock's length so a pathological straight-line
+// region cannot produce an unbounded build.
+const sbMaxEntries = 64
+
+// sbEntry is one cached instruction slot in a superblock.
+type sbEntry struct {
+	proto  uop       // inst/pc/npc/cl filled; dynamic fields zero
+	lines  [2]uint64 // IL1 lines the instruction bytes touch, in order
+	nlines uint8     // 1 or 2 (an instruction is at most 9 bytes)
+	kind   sbKind
+}
+
+// superblock is one cached straight-line trace.
+type superblock struct {
+	entries []sbEntry
+}
+
+// fetchSuperblock is the replay fetch path. It mirrors fetchLegacy's
+// per-cycle shape exactly: up to FetchWidth instructions, one shared
+// last-line IL1 dedup across the whole group (including across block
+// boundaries within the group), stall-and-retry on IL1 miss with the
+// current entry re-charged after the fill, group end on predicted-taken
+// transfers, and the halt/broken latches at the same instruction positions.
+func (c *Core) fetchSuperblock() {
+	// Reserve pool slots for the whole group up front so the arena cannot
+	// move mid-loop and its pointer can be hoisted.
+	c.pool.reserve(c.cfg.FetchWidth)
+	arena := c.pool.arena
+	var lastLine uint64 = ^uint64(0)
+	n := 0
+	for n < c.cfg.FetchWidth && !c.fe.fetchFull() {
+		// Establish a valid cursor: resume only when the cursor entry is the
+		// instruction fetch wants next.
+		if c.sbCur < 0 || int(c.sbCurIdx) >= len(c.sbBlocks[c.sbCur].entries) ||
+			c.sbBlocks[c.sbCur].entries[c.sbCurIdx].proto.pc != c.fetchPC {
+			if !c.sbLookup() {
+				return // fetchBroken latched, same as the legacy walk
+			}
+		}
+		blk := &c.sbBlocks[c.sbCur]
+		for n < c.cfg.FetchWidth && !c.fe.fetchFull() && int(c.sbCurIdx) < len(blk.entries) {
+			e := &blk.entries[c.sbCurIdx]
+			// Charge IL1 for each distinct line, exactly like the legacy
+			// walk: lastLine is updated even on a miss, and a miss retries
+			// the whole instruction after the stall (recharging its lines).
+			for li := 0; li < int(e.nlines); li++ {
+				a := e.lines[li]
+				if a == lastLine {
+					continue
+				}
+				lat := c.Hier.IL1.AccessPC(e.proto.pc, a, false)
+				lastLine = a
+				if lat > c.cfg.Caches.IL1.HitLatency {
+					c.fetchStallUntil = c.cycle + uint64(lat)
+					return // cursor still points here: retried after the fill
+				}
+			}
+
+			i := c.pool.getRaw()
+			u := &arena[i]
+			*u = e.proto
+			u.seq = c.seq
+			c.seq++
+			c.sbCurIdx++
+			c.SBStats.Replays++
+
+			redirected := false
+			if e.kind == sbPredecode {
+				redirected = c.predecode(u)
+			} else {
+				// Sequential (or HALT): predecode's default case.
+				c.fetchPC = u.npc
+			}
+			c.fe.pushFetched(i)
+			n++
+			if e.kind == sbHalt {
+				c.fetchHalted = true
+				return
+			}
+			if redirected {
+				// One taken control transfer per fetch group. The cursor is
+				// left as-is; the pc check above re-validates or drops it.
+				return
+			}
+		}
+		// Block exhausted mid-group: the outer loop re-establishes a cursor
+		// at fetchPC (building a new block if needed), continuing the same
+		// fetch group in the same cycle — block end is not group end.
+	}
+}
+
+// sbLookup points the cursor at a block starting at fetchPC, building one
+// on first touch. It returns false after latching fetchBroken when fetchPC
+// is outside the code image or undecodable — the same conditions, detected
+// at the same instruction position in the fetch group, as the legacy walk.
+func (c *Core) sbLookup() bool {
+	pc := c.fetchPC
+	if pc < c.prog.CodeBase || pc >= c.prog.CodeEnd() {
+		c.fetchBroken = true
+		return false
+	}
+	off := int(pc - c.prog.CodeBase)
+	bi := c.sbIndex[off]
+	if bi < 0 {
+		bi = c.sbBuild(off)
+		if bi < 0 {
+			c.fetchBroken = true
+			return false
+		}
+	}
+	c.sbCur = bi
+	c.sbCurIdx = 0
+	return true
+}
+
+// sbBuild decodes a superblock starting at code offset off and registers it
+// in sbIndex. It returns -1 when the first instruction is undecodable (the
+// caller latches fetchBroken, as the legacy walk would at that pc). A later
+// undecodable instruction just ends the block: replay will re-look-up at
+// that pc and only then latch fetchBroken, matching legacy timing.
+func (c *Core) sbBuild(off int) int32 {
+	entries := make([]sbEntry, 0, 16)
+	pos := off
+	for len(entries) < sbMaxEntries && pos < len(c.prog.Code) {
+		// Goes through the shared predecode cache, so a run that mixes
+		// replay and legacy fetches (e.g. a hook armed mid-run) sees one
+		// decode and identical static metadata on both paths.
+		d := c.predecAt(pos)
+		if d == nil {
+			break
+		}
+		size := int(d.size)
+		pc := c.prog.CodeBase + uint64(pos)
+
+		var e sbEntry
+		e.proto.inst = d.inst
+		e.proto.pc = pc
+		e.proto.npc = pc + uint64(size)
+		e.proto.cl = d.cl
+		e.proto.sra1, e.proto.sra2, e.proto.sra3 = d.sra1, d.sra2, d.sra3
+		e.proto.writesRd = d.writesRd
+		e.proto.isLoad, e.proto.isStore = d.isLoad, d.isStore
+		e.proto.memWidth = d.memWidth
+		for a := pc &^ (cache.LineSize - 1); a < pc+uint64(size); a += cache.LineSize {
+			e.lines[e.nlines] = a
+			e.nlines++
+		}
+		op := d.inst.Op
+		switch {
+		case op == isa.OpHalt:
+			e.kind = sbHalt
+		case op.IsControl():
+			e.kind = sbPredecode
+		case c.cfg.SeMPE && d.inst.IsEOSJmp():
+			// eosJMP is a secure NOP: sequential to fetch, but predecode
+			// must mark it so rename drains. (sJMP is a secure branch and
+			// is already covered by IsControl.)
+			e.kind = sbPredecode
+		default:
+			e.kind = sbSeq
+		}
+		entries = append(entries, e)
+		pos += size
+		if e.kind == sbHalt || op.IsJump() {
+			break // unconditional transfer / halt always ends the trace
+		}
+	}
+	if len(entries) == 0 {
+		return -1
+	}
+	bi := int32(len(c.sbBlocks))
+	c.sbBlocks = append(c.sbBlocks, superblock{entries: entries})
+	c.sbIndex[off] = bi
+	c.SBStats.Builds++
+	return bi
+}

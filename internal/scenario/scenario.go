@@ -169,9 +169,9 @@ type Sweep struct {
 	// sweep's typed row — the inverse of json.Marshal on Run's result.
 	// Declaring it makes the sweep shardable: the cluster coordinator can
 	// merge rows computed by remote workers, and the on-disk store can
-	// rehydrate persisted points. Sweeps whose rows do not survive a JSON
-	// round trip (fig8 rows carry whole simulated cores) leave it nil and
-	// stay local-only.
+	// rehydrate persisted points. A sweep whose rows do not survive a JSON
+	// round trip would leave it nil and stay local-only; every registered
+	// sweep declares one.
 	DecodeRow func(json.RawMessage) (any, error)
 }
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bench_record.sh — append one entry to the committed benchmark trajectory.
+#
+# Runs the three simulator-speed benchmarks (BenchmarkSimulatorSpeed,
+# BenchmarkSteadyStatePipeline, BenchmarkSteadyStateSecure) and appends a
+# {date, commit, label, minst_per_s, allocs_per_op, ipc} record to
+# BENCH_sim.json at the repository root. The file is a JSON array ordered
+# oldest-first; every perf-relevant PR appends a pre/post pair so the
+# trajectory pins regressions to a commit.
+#
+# Usage: scripts/bench_record.sh [label]
+#   label   free-form tag for the entry (default: "manual")
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+LABEL="${1:-manual}"
+OUT=BENCH_sim.json
+BENCHTIME="${BENCHTIME:-2s}"
+
+raw=$(go test -run=NONE \
+    -bench='^(BenchmarkSimulatorSpeed|BenchmarkSteadyStatePipeline|BenchmarkSteadyStateSecure)$' \
+    -benchmem -benchtime="$BENCHTIME" . 2>&1)
+echo "$raw"
+
+minst=$(echo "$raw" | awk '/^BenchmarkSimulatorSpeed/ {for (i=1;i<NF;i++) if ($(i+1)=="Minst/s") print $i}')
+ipc=$(echo "$raw" | awk '/^BenchmarkSteadyStatePipeline/ {for (i=1;i<NF;i++) if ($(i+1)=="ipc") print $i}')
+allocs=$(echo "$raw" | awk '/^BenchmarkSteadyStatePipeline/ {for (i=1;i<NF;i++) if ($(i+1)=="allocs/op") print $i}')
+secure_ns=$(echo "$raw" | awk '/^BenchmarkSteadyStateSecure/ {for (i=1;i<NF;i++) if ($(i+1)=="ns/op") print $i}')
+pipeline_ns=$(echo "$raw" | awk '/^BenchmarkSteadyStatePipeline/ {for (i=1;i<NF;i++) if ($(i+1)=="ns/op") print $i}')
+
+if [ -z "$minst" ] || [ -z "$ipc" ]; then
+    echo "bench_record: failed to parse benchmark output" >&2
+    exit 1
+fi
+
+entry=$(cat <<EOF
+{
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "commit": "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)",
+  "label": "$LABEL",
+  "host_cpus": $(nproc),
+  "minst_per_s": $minst,
+  "steady_ns_per_cycle": $pipeline_ns,
+  "steady_secure_ns_per_cycle": $secure_ns,
+  "allocs_per_op": $allocs,
+  "ipc": $ipc
+}
+EOF
+)
+
+if [ ! -f "$OUT" ]; then
+    echo "[" > "$OUT"
+    echo "$entry" >> "$OUT"
+    echo "]" >> "$OUT"
+else
+    # Append inside the existing array: drop the closing bracket, add a comma.
+    tmp=$(mktemp)
+    sed '$ d' "$OUT" > "$tmp"
+    # Last entry needs a trailing comma unless the array was empty.
+    if [ "$(tail -c 2 "$tmp" | head -c 1)" = "[" ] || [ "$(tail -n 1 "$tmp")" = "[" ]; then
+        :
+    else
+        sed -i '$ s/$/,/' "$tmp"
+    fi
+    echo "$entry" >> "$tmp"
+    echo "]" >> "$tmp"
+    mv "$tmp" "$OUT"
+fi
+
+echo "bench_record: appended '$LABEL' entry ($minst Minst/s) to $OUT"
