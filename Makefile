@@ -17,9 +17,12 @@ test:
 	$(GO) test ./...
 
 # bench-smoke proves the perf-critical benchmarks still run and that the
-# steady-state pipeline loop is allocation-free, in seconds.
+# steady-state pipeline loop is allocation-free, in seconds. The attack-trial
+# benchmark runs one iteration per config; its allocation gate is the
+# TestTrialLoopZeroAlloc test (a 1x bench can't see the steady state).
 bench-smoke:
 	$(GO) test -run=NONE -bench='SteadyState|MemAccess|SimulatorSpeed' -benchmem -benchtime=1000x
+	$(GO) test -run=NONE -bench='AttackTrials' -benchmem -benchtime=1x ./internal/attack
 
 # bench is the full benchmark suite (paper figures + ablations).
 bench:

@@ -50,6 +50,8 @@ func main() {
 		gap       = flag.Int("gap", 0, "extraction mode: units of train-to-probe gap activity (weaker attacker)")
 		keyF      = flag.Int64("key", -1, "extraction mode: pin the true key (-1 = derive from seed)")
 		listVics  = flag.Bool("list-victims", false, "list the registered victims and exit")
+		workers   = flag.Int("workers", 1, "trial worker pool size (results are bit-identical at any value)")
+		sbstats   = flag.Bool("sbstats", false, "report throughput-engine counters (template cache, core pool, superblock builds/replays/legacy ops)")
 		format    = flag.String("format", "text", "output encoding: text|json")
 		check     = flag.Bool("check", false, "exit 1 unless every baseline attack leaks (leaky victims: full key) and every SeMPE attack is secure")
 	)
@@ -107,15 +109,16 @@ func main() {
 		for _, kind := range kinds {
 			for _, secure := range archs {
 				kr, err := attack.ExtractKey(attack.KeyParams{
-					Kind:   kind,
-					Secure: secure,
-					Victim: v.Name(),
-					Width:  *bits,
-					Trials: extractTrials,
-					Seed:   *seed,
-					Noise:  *noise,
-					Gap:    *gap,
-					Key:    *keyF,
+					Kind:    kind,
+					Secure:  secure,
+					Victim:  v.Name(),
+					Width:   *bits,
+					Trials:  extractTrials,
+					Seed:    *seed,
+					Noise:   *noise,
+					Gap:     *gap,
+					Key:     *keyF,
+					Workers: *workers,
 				})
 				if err != nil {
 					fatal("%v", err)
@@ -128,11 +131,7 @@ func main() {
 		}
 		switch *format {
 		case "json":
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(results); err != nil {
-				fatal("json: %v", err)
-			}
+			emitJSON(results, *sbstats)
 		default:
 			for _, kr := range results {
 				fmt.Println(kr)
@@ -146,6 +145,7 @@ func main() {
 						b.Discarded, 100*b.Recovery, b.MaxAbsT, tte)
 				}
 			}
+			printPerf(*sbstats)
 		}
 		gate(*check, ok, "expected every leaky victim to yield its full key on the baseline, and every SeMPE or constant-time result to stay secure")
 		return
@@ -156,11 +156,12 @@ func main() {
 	for _, kind := range kinds {
 		for _, secure := range archs {
 			a, err := attack.RunAssessment(attack.Params{
-				Kind:   kind,
-				Secure: secure,
-				Trials: *trials,
-				Seed:   *seed,
-				Noise:  *noise,
+				Kind:    kind,
+				Secure:  secure,
+				Trials:  *trials,
+				Seed:    *seed,
+				Noise:   *noise,
+				Workers: *workers,
 			})
 			if err != nil {
 				fatal("%v", err)
@@ -175,11 +176,7 @@ func main() {
 
 	switch *format {
 	case "json":
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
-			fatal("json: %v", err)
-		}
+		emitJSON(results, *sbstats)
 	default:
 		for _, a := range results {
 			fmt.Println(a)
@@ -188,9 +185,41 @@ func main() {
 			}
 		}
 		fmt.Printf("TVLA threshold |t| >= %.1f; recovery 'LEAK' means the 95%% CI clears 50%%\n", stattest.TVLAThreshold)
+		printPerf(*sbstats)
 	}
 
 	gate(*check, ok, "expected every baseline attack to leak and every SeMPE attack to be secure")
+}
+
+// emitJSON encodes the results, wrapping them with the throughput-engine
+// perf counters when -sbstats is set (plain results otherwise, so existing
+// consumers of the JSON output see an unchanged shape by default).
+func emitJSON(results any, sbstats bool) {
+	var payload any = results
+	if sbstats {
+		payload = struct {
+			Results any         `json:"results"`
+			Perf    attack.Perf `json:"perf"`
+		}{results, attack.PerfSnapshot()}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		fatal("json: %v", err)
+	}
+}
+
+// printPerf renders the -sbstats counter block for text output.
+func printPerf(sbstats bool) {
+	if !sbstats {
+		return
+	}
+	p := attack.PerfSnapshot()
+	fmt.Printf("perf: template cache %d hits / %d misses / %d fallbacks / %d evictions\n",
+		p.TemplateHits, p.TemplateMisses, p.TemplateFallbacks, p.TemplateEvictions)
+	fmt.Printf("perf: core pool %d built / %d reset\n", p.CoreBuilds, p.CoreResets)
+	fmt.Printf("perf: superblocks %d built, %d replayed ops, %d legacy ops\n",
+		p.SBBuilds, p.SBReplays, p.SBLegacyOps)
 }
 
 func fatal(format string, args ...any) {

@@ -114,17 +114,17 @@ func RunAssessment(p Params) (Assessment, error) {
 	if err := pr.rejectGap(); err != nil {
 		return Assessment{}, err
 	}
+	pairs, err := runCalibPairs(p)
+	if err != nil {
+		return Assessment{}, err
+	}
 	fixed := &Batch{Params: pf, Columns: columns(p.Kind)}
 	random := &Batch{Params: pr, Columns: columns(p.Kind)}
 	secRng := secretRNG(p.effSeed())
-	for t := 0; t < p.Trials; t++ {
+	for _, c := range pairs {
 		secret := uint64(secRng.Intn(2))
-		c0, c1, err := calibPair(p, t)
-		if err != nil {
-			return Assessment{}, err
-		}
-		fixed.Trials = append(fixed.Trials, makeTrial(p.Kind, 1, c0, c1))
-		random.Trials = append(random.Trials, makeTrial(p.Kind, secret, c0, c1))
+		fixed.Trials = append(fixed.Trials, makeTrial(p.Kind, 1, c.c0, c.c1))
+		random.Trials = append(random.Trials, makeTrial(p.Kind, secret, c.c0, c.c1))
 	}
 	return Assess(fixed, random)
 }

@@ -137,6 +137,12 @@ type Params struct {
 	// independently for the live measurement and its calibration replays,
 	// which is what makes it degrade the calibrated classifier.
 	Gap int `json:"gap,omitempty"`
+	// Workers bounds the trial worker pool: trials simulate concurrently on
+	// up to Workers pooled cores, with all statistics still computed in
+	// trial order, so results are bit-identical to the serial path at any
+	// value. <= 1 runs serially. Excluded from JSON so stored batch keys
+	// and reports are identical whatever parallelism produced them.
+	Workers int `json:"-"`
 }
 
 // DefaultParams returns the batch configuration the spectre/tvla scenarios
@@ -337,7 +343,9 @@ func secretRNG(seed int64) *rand.Rand {
 // program plus two calibration programs (attacker dry runs with known
 // branch input 0 and 1 under fresh environmental noise), classifies the
 // measurement against the calibration pair, and records the observation
-// vector and guess.
+// vector and guess. Trials simulate on the runner's pooled-core fast path
+// (see runner.go), in parallel when p.Workers > 1; classification and batch
+// assembly stay in trial order, so output is identical at any worker count.
 func Run(p Params) (*Batch, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
@@ -345,20 +353,43 @@ func Run(p Params) (*Batch, error) {
 	if err := p.rejectGap(); err != nil {
 		return nil, err
 	}
+	pairs, err := runCalibPairs(p)
+	if err != nil {
+		return nil, err
+	}
 	b := &Batch{Params: p, Columns: columns(p.Kind)}
 	secRng := secretRNG(p.effSeed())
-	for t := 0; t < p.Trials; t++ {
+	for _, pr := range pairs {
 		secret := uint64(secRng.Intn(2))
 		if p.FixedSecret >= 0 {
 			secret = uint64(p.FixedSecret) & 1
 		}
-		c0, c1, err := calibPair(p, t)
-		if err != nil {
-			return nil, err
-		}
-		b.Trials = append(b.Trials, makeTrial(p.Kind, secret, c0, c1))
+		b.Trials = append(b.Trials, makeTrial(p.Kind, secret, pr.c0, pr.c1))
 	}
 	return b, nil
+}
+
+// calib is one trial's simulated calibration pair.
+type calib struct {
+	c0, c1 []float64
+}
+
+// runCalibPairs simulates every trial's calibration pair on the worker
+// pool, returning them in trial order.
+func runCalibPairs(p Params) ([]calib, error) {
+	pairs := make([]calib, p.Trials)
+	err := runTrials(p, p.Trials, p.Workers, func(r *runner, t int) error {
+		_, c0, c1, err := r.calibPair(t)
+		if err != nil {
+			return fmt.Errorf("attack %s/%s trial %d: %w", p.Kind, ArchName(p.Secure), t, err)
+		}
+		pairs[t] = calib{cloneObs(c0), cloneObs(c1)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pairs, nil
 }
 
 // calibPair runs trial t's two calibration programs — replays of the

@@ -1,0 +1,49 @@
+package attack
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAttackTrials measures serial trial throughput through the real
+// engine path: one op is one trial's calibration pair (the unit every batch
+// and key-extraction loop is built from). The trials/s metric is the number
+// BENCH_sim.json tracks pre/post per perf PR; the allocs/op gate pins the
+// steady-state trial loop.
+func BenchmarkAttackTrials(b *testing.B) {
+	for _, kind := range AllKinds() {
+		for _, secure := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/%s", kind, ArchName(secure)), func(b *testing.B) {
+				p := DefaultParams(kind, secure)
+				r, err := newRunner(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, _, err := r.calibPair(i); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+			})
+		}
+	}
+}
+
+// BenchmarkKeyExtractQuick is the keyextract-quick wall-clock entry: the
+// experiments registry's quick grid point (4-bit keyloop, 12 trials/bit)
+// through the full extraction engine, baseline arch.
+func BenchmarkKeyExtractQuick(b *testing.B) {
+	p := DefaultKeyParams(BPProbe, false)
+	p.Width = 4
+	p.Trials = 12
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractKey(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

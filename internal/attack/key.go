@@ -29,6 +29,10 @@ type KeyParams struct {
 	// seed (the usual case — all-zeros or all-ones keys are edge-case
 	// tests, not representative sweeps).
 	Key int64 `json:"key"`
+	// Workers bounds the per-bit trial worker pool (see Params.Workers);
+	// results are bit-identical at any value. Excluded from JSON so stored
+	// result keys are parallelism-independent.
+	Workers int `json:"-"`
 }
 
 // DefaultKeyParams is the configuration the keyextract scenario and
@@ -62,6 +66,7 @@ func (p KeyParams) bitParams(b int, prefix uint64) Params {
 		Bit:         b,
 		KeyPrefix:   prefix,
 		Gap:         p.Gap,
+		Workers:     p.Workers,
 	}
 }
 
@@ -282,20 +287,52 @@ func extractBit(bp Params, key uint64) (BitResult, error) {
 	rec := recoveryColumn(bp.Kind)
 	prefixCorrect := bp.KeyPrefix == key&(uint64(1)<<uint(bp.Bit)-1)
 
+	// Phase 1: simulate every trial's runs on the worker pool. A trial is
+	// three independent simulations at most — calib0, calib1, and (when the
+	// gap axis or a wrong prefix makes the live measurement distinct) the
+	// measurement — so trials parallelize perfectly; per-trial results land
+	// in trial-order slots.
+	needMeas := !(bp.Gap == 0 && prefixCorrect)
+	type trialRuns struct {
+		c0, c1, m []float64
+	}
+	res := make([]trialRuns, bp.Trials)
+	err := runTrials(bp, bp.Trials, bp.Workers, func(r *runner, t int) error {
+		d := r.trialDraw(t)
+		c0, err := r.run(d, d.gapCal, bp.KeyPrefix, &r.c0buf)
+		if err != nil {
+			return fmt.Errorf("trial %d calib0: %w", t, err)
+		}
+		c1, err := r.run(d, d.gapCal, bp.KeyPrefix|1<<uint(bp.Bit), &r.c1buf)
+		if err != nil {
+			return fmt.Errorf("trial %d calib1: %w", t, err)
+		}
+		res[t] = trialRuns{c0: cloneObs(c0), c1: cloneObs(c1)}
+		// The live measurement — the true key's program under the
+		// measurement's own gap activity — is only simulated for
+		// informative trials (see below; an uninformative one never gets
+		// measured) and only when it cannot be selected from the pair.
+		if needMeas && c0[rec] != c1[rec] {
+			m, err := r.measure(d, key&(uint64(1)<<uint(bp.Bit+1)-1))
+			if err != nil {
+				return fmt.Errorf("trial %d measurement: %w", t, err)
+			}
+			res[t].m = cloneObs(m)
+		}
+		return nil
+	})
+	if err != nil {
+		return br, err
+	}
+
+	// Phase 2: all cross-trial statistics, in trial order, exactly as the
+	// serial loop computed them — worker count cannot change any output.
 	correct := 0
 	ones := 0
 	informative := 0
 	for t := 0; t < bp.Trials; t++ {
 		secret := uint64(secRng.Intn(2))
-		d := newDraw(trialRNG(bp.effSeed(), t), bp)
-		c0, err := runTrial(bp, d, d.gapCal, bp.KeyPrefix)
-		if err != nil {
-			return br, fmt.Errorf("trial %d calib0: %w", t, err)
-		}
-		c1, err := runTrial(bp, d, d.gapCal, bp.KeyPrefix|1<<uint(bp.Bit))
-		if err != nil {
-			return br, fmt.Errorf("trial %d calib1: %w", t, err)
-		}
+		c0, c1 := res[t].c0, res[t].c1
 		fixed.Trials = append(fixed.Trials, makeTrial(bp.Kind, 1, c0, c1))
 		random.Trials = append(random.Trials, makeTrial(bp.Kind, secret, c0, c1))
 
@@ -309,19 +346,14 @@ func extractBit(bp Params, key uint64) (BitResult, error) {
 		}
 		informative++
 
-		// The live measurement: the true key's program under the
-		// measurement's own gap activity.
-		var m []float64
-		switch {
-		case bp.Gap == 0 && prefixCorrect:
+		// With no gap activity and a correct prefix the live measurement is
+		// program-identical to the matching calibration: selected, not
+		// re-simulated (the PR-4 optimization).
+		m := res[t].m
+		if m == nil {
 			m = c0
 			if trueBit == 1 {
 				m = c1
-			}
-		default:
-			m, err = runTrial(bp, d, d.gapMeas, key&(uint64(1)<<uint(bp.Bit+1)-1))
-			if err != nil {
-				return br, fmt.Errorf("trial %d measurement: %w", t, err)
 			}
 		}
 		g := classify(m[rec], c0[rec], c1[rec])

@@ -57,6 +57,16 @@ func (u *Unit) PopReturn() (uint64, bool) {
 	return u.ras[u.rasTop], true
 }
 
+// Reset restores the whole unit to fresh-construction state without
+// reallocating. The RAS contents above rasTop are never read (Push
+// overwrites, Pop reads below the top, Digest mixes only live entries), so
+// resetting the top pointer suffices.
+func (u *Unit) Reset() {
+	u.TAGE.Reset()
+	u.ITTAGE.Reset()
+	u.rasTop = 0
+}
+
 // Digest fingerprints every predictor structure. Under SeMPE the digest
 // after a run must not depend on any secret.
 func (u *Unit) Digest() uint64 {

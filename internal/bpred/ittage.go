@@ -155,6 +155,22 @@ func (it *ITTAGE) Update(pc, target uint64) {
 	}
 }
 
+// Reset restores the predictor to its fresh-construction state without
+// reallocating tables (the base map keeps its buckets across clear, so a
+// reset-heavy trial loop stays allocation-free at steady state).
+func (it *ITTAGE) Reset() {
+	clear(it.base)
+	for i := range it.tables {
+		tb := &it.tables[i]
+		clear(tb.entries)
+		tb.idxFold.value = 0
+		tb.tagFold.value = 0
+	}
+	clear(it.hist.bits)
+	it.hist.head = 0
+	it.Lookups, it.Mispredict = 0, 0
+}
+
 // Digest fingerprints all table and history state.
 func (it *ITTAGE) Digest() uint64 {
 	h := newFNV()

@@ -284,6 +284,29 @@ func (t *TAGE) pushHistory(taken bool) {
 	}
 }
 
+// Reset restores the predictor to its fresh-construction state without
+// reallocating: tables, history, folded registers, statistics, and the
+// memoized fast path all return to the values NewTAGE left them with, so a
+// reset predictor is indistinguishable (per Digest and per prediction
+// stream) from a new one.
+func (t *TAGE) Reset() {
+	clear(t.base)
+	for i := range t.tables {
+		tb := &t.tables[i]
+		clear(tb.entries)
+		tb.idxFold.value = 0
+		tb.tagFold1.value = 0
+		tb.tagFold2.value = 0
+	}
+	clear(t.hist.bits)
+	t.hist.head = 0
+	t.useAltCtr = 0
+	t.Lookups, t.Mispredict, t.allocs, t.uTick = 0, 0, 0, 0
+	t.gen = 1
+	clear(t.memo[:])
+	t.FastHits = 0
+}
+
 // BaseCounter exposes the bimodal base counter for the branch at pc — the
 // observability hook internal/attack's tests use to assert what predictor
 // state a victim run left behind. Read-only.

@@ -278,6 +278,20 @@ func (c *Cache) victimAddr(set int, tag uint64) uint64 {
 	return (tag*uint64(c.sets) + uint64(set)) * LineSize
 }
 
+// Reset restores the level to fresh-construction state without reallocating
+// its arrays. lruAge must be cleared along with the tags: Digest orders ways
+// by age, so stale ages on an otherwise-empty cache would fingerprint
+// differently from a new one.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.lruAge)
+	c.clock = 0
+	c.memoLine, c.memoIdx = 0, -1
+	c.Stats = Stats{}
+}
+
 // Digest returns a deterministic fingerprint of the cache's resident-line
 // state (tags and LRU order). The leak checker compares digests produced by
 // runs with different secrets: under SeMPE they must be identical.
@@ -340,6 +354,15 @@ func DefaultHierarchyConfig() HierarchyConfig {
 		L2:         Config{Name: "l2", SizeBytes: 256 << 10, Ways: 2, HitLatency: 12},
 		MemLatency: 150,
 	}
+}
+
+// Reset restores every level (and the main-memory stats) to
+// fresh-construction state without reallocating.
+func (h *Hierarchy) Reset() {
+	h.IL1.Reset()
+	h.DL1.Reset()
+	h.L2.Reset()
+	h.Mem.Stats = Stats{}
 }
 
 // NewHierarchy wires IL1 and DL1 in front of a shared L2 and main memory.

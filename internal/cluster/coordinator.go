@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -52,7 +53,8 @@ type Options struct {
 	WorkerFailLimit int
 	// Timeout bounds one shard request; 0 means 10 minutes.
 	Timeout time.Duration
-	// Client is the HTTP client; nil means http.DefaultClient.
+	// Client is the HTTP client; nil means the process-wide shared
+	// keep-alive client (see sharedClient).
 	Client *http.Client
 	// Store, when set, serves already-computed points without dispatching
 	// and persists every newly computed row.
@@ -80,6 +82,28 @@ type Coordinator struct {
 	opts Options
 }
 
+// sharedClient is the process-wide default shard-dispatch client. Every
+// coordinator built without an explicit Options.Client reuses it, so
+// repeated shard POSTs to the same worker ride one keep-alive connection
+// pool instead of re-dialing per coordinator — a sweep driver that builds
+// a coordinator per scenario (sempe-sweep, the experiment harness) would
+// otherwise discard warm connections between scenarios. The transport
+// mirrors http.DefaultTransport's dial behavior with keep-alives pinned on
+// and enough idle connections per worker to cover parallel dispatch.
+var sharedClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   30 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:   true,
+		MaxIdleConns:        100,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
 // New builds a coordinator, applying option defaults.
 func New(opts Options) *Coordinator {
 	if opts.ShardSize <= 0 {
@@ -95,7 +119,7 @@ func New(opts Options) *Coordinator {
 		opts.Timeout = 10 * time.Minute
 	}
 	if opts.Client == nil {
-		opts.Client = http.DefaultClient
+		opts.Client = sharedClient
 	}
 	return &Coordinator{opts: opts}
 }

@@ -1,0 +1,172 @@
+package compile
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/lang"
+)
+
+// Template is a compiled program whose per-run scalar initial values can be
+// patched directly into the code image, skipping the AST walk and the full
+// lowering pipeline for every trial that shares the program's shape. The
+// attack drivers compile one template per trial-invariant skeleton and then
+// specialize it per trial by rewriting only the prologue's load-immediate
+// operands (the initial register values the key, the calibration seed, and
+// the gap seed flow through).
+//
+// Patchability is proven, not assumed: NewTemplate decodes the prologue and
+// verifies it is exactly one OpLi per scalar, in declaration order, targeting
+// the variable's assigned register. Any mismatch — a compiler change, an
+// unexpected prefix, a variable whose value reaches the program some other
+// way — marks the template non-patchable and callers fall back to a full
+// recompilation, so the fast path can never silently produce a program that
+// differs from what Compile would emit.
+type Template struct {
+	Out *Output
+
+	// immOffs[i] is the byte offset inside Out.Prog.Code of the 4-byte
+	// little-endian immediate of the prologue OpLi initializing VarOrder[i].
+	// nil when the prologue could not be proven patchable.
+	immOffs []int
+
+	// baseInits[i] is the immediate the template was compiled with, the
+	// default a Specialize caller starts from for values that do not change
+	// per trial.
+	baseInits []int64
+
+	// slotIdx maps a scalar name to its index in immOffs/baseInits.
+	slotIdx map[string]int
+}
+
+// NewTemplate compiles p and analyzes the result for patchability.
+func NewTemplate(p *lang.Program, mode Mode) (*Template, error) {
+	out, err := Compile(p, mode)
+	if err != nil {
+		return nil, err
+	}
+	t := &Template{Out: out}
+	t.analyze()
+	return t, nil
+}
+
+// analyze locates the prologue's load-immediate slots. The prologue starts
+// at the entry point (code emission begins at Label("main")) and consists of
+// one OpLi per scalar in declaration order; anything else leaves the
+// template non-patchable.
+func (t *Template) analyze() {
+	prog := t.Out.Prog
+	off := int(prog.Entry - prog.CodeBase)
+	offs := make([]int, 0, len(t.Out.VarOrder))
+	inits := make([]int64, 0, len(t.Out.VarOrder))
+	idx := make(map[string]int, len(t.Out.VarOrder))
+	for i, name := range t.Out.VarOrder {
+		in, size, err := isa.Decode(prog.Code, off)
+		if err != nil || in.Op != isa.OpLi || in.Secure || in.Rd != t.Out.VarRegs[name] {
+			return
+		}
+		// The immediate is the last 4 bytes of a non-short encoding:
+		// opcode, Rd, Ra, Rb, imm32 (little endian).
+		offs = append(offs, off+size-4)
+		inits = append(inits, in.Imm)
+		idx[name] = i
+		off += size
+	}
+	t.immOffs = offs
+	t.baseInits = inits
+	t.slotIdx = idx
+}
+
+// Patchable reports whether Specialize can rewrite this template.
+func (t *Template) Patchable() bool { return t.immOffs != nil }
+
+// NumSlots returns the number of patchable scalar slots.
+func (t *Template) NumSlots() int { return len(t.immOffs) }
+
+// BaseInits returns the immediates the template was compiled with, indexed
+// like Output.VarOrder. Callers must treat the slice as read-only.
+func (t *Template) BaseInits() []int64 { return t.baseInits }
+
+// SlotIndex returns the patch-slot index for a scalar name.
+func (t *Template) SlotIndex(name string) (int, bool) {
+	i, ok := t.slotIdx[name]
+	return i, ok
+}
+
+// Specialize appends a copy of the template's code with vals patched into
+// the prologue immediates to buf[:0] and returns it. It fails (ok=false)
+// when the template is not patchable or a value does not fit the 4-byte
+// immediate encoding; callers then recompile from source. Data segments and
+// all other Output metadata are shared with the template: nothing but the
+// prologue immediates varies per trial.
+func (t *Template) Specialize(vals []int64, buf []byte) (code []byte, ok bool) {
+	if t.immOffs == nil || len(vals) != len(t.immOffs) {
+		return nil, false
+	}
+	for _, v := range vals {
+		if int64(int32(v)) != v {
+			return nil, false
+		}
+	}
+	code = append(buf[:0], t.Out.Prog.Code...)
+	for i, off := range t.immOffs {
+		binary.LittleEndian.PutUint32(code[off:], uint32(int32(vals[i])))
+	}
+	return code, true
+}
+
+// memoCap bounds a Memo's size. Attack sweeps produce at most a few hundred
+// distinct skeletons; the cap only guards against unbounded growth if a
+// caller keys on something trial-variant by mistake. On overflow the whole
+// map is dropped (the next misses rebuild it) — simpler than LRU and
+// harmless at this hit rate.
+const memoCap = 4096
+
+// Memo is a concurrency-safe content-keyed template cache. The key type is
+// a caller-chosen comparable struct capturing everything the program's shape
+// depends on; keeping it generic avoids boxing the key on every lookup in
+// the trial hot loop.
+type Memo[K comparable] struct {
+	mu        sync.Mutex
+	m         map[K]*Template
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewMemo returns an empty template cache.
+func NewMemo[K comparable]() *Memo[K] {
+	return &Memo[K]{m: make(map[K]*Template)}
+}
+
+// Get returns the cached template for key, or nil on a miss.
+func (m *Memo[K]) Get(key K) *Template {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.m[key]
+	if t != nil {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return t
+}
+
+// Put inserts a template, evicting everything first when the cache is full.
+func (m *Memo[K]) Put(key K, t *Template) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.m) >= memoCap {
+		clear(m.m)
+		m.evictions++
+	}
+	m.m[key] = t
+}
+
+// Counters returns the cumulative hit/miss/eviction counts.
+func (m *Memo[K]) Counters() (hits, misses, evictions uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, m.evictions
+}

@@ -11,6 +11,7 @@ package leak
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/pipeline"
@@ -49,6 +50,10 @@ func ObserveWith(cfg pipeline.Config, prog *isa.Program, setup func(*pipeline.Co
 	if err := core.Run(); err != nil {
 		return Observation{}, nil, err
 	}
+	return observationOf(core), core, nil
+}
+
+func observationOf(core *pipeline.Core) Observation {
 	return Observation{
 		Cycles:       core.Cycles(),
 		Insts:        core.Stats.Insts,
@@ -61,7 +66,42 @@ func ObserveWith(cfg pipeline.Config, prog *isa.Program, setup func(*pipeline.Co
 		IL1MissRate:  core.Hier.IL1.Stats.MissRate(),
 		DL1MissRate:  core.Hier.DL1.Stats.MissRate(),
 		L2MissRate:   core.Hier.L2.Stats.MissRate(),
-	}, core, nil
+	}
+}
+
+// corePools recycles cores per configuration for observation paths whose
+// callers never see the core (Distinguish, DistinguishMany). A recycled
+// core is Reset onto the next program — cycle- and event-identical to a
+// fresh construction (pinned by pipeline's TestCoreResetDifferential) —
+// which removes per-observation core construction from sweep loops.
+var corePools sync.Map // pipeline.Config -> *sync.Pool
+
+// ObservePooled is Observe on a pooled core. Use it only where the core
+// itself is not needed after the run; the returned observation is identical
+// to Observe's.
+func ObservePooled(cfg pipeline.Config, prog *isa.Program) (Observation, error) {
+	pi, _ := corePools.LoadOrStore(cfg, &sync.Pool{})
+	pool := pi.(*sync.Pool)
+	var core *pipeline.Core
+	if c, ok := pool.Get().(*pipeline.Core); ok {
+		c.Reset(prog)
+		core = c
+	} else {
+		core = pipeline.New(cfg, prog)
+	}
+	if err := core.Run(); err != nil {
+		// A failed run leaves the core mid-flight; drop it rather than
+		// reasoning about partial state.
+		return Observation{}, err
+	}
+	o := observationOf(core)
+	// Reset preserves caller-armed hooks by design; strip them (and trace
+	// capture) before the core becomes visible to unrelated callers.
+	core.MemWatch = nil
+	core.BranchWatch = nil
+	core.TraceCommits = false
+	pool.Put(core)
+	return o, nil
 }
 
 // Channel names one observable side channel.
@@ -138,11 +178,11 @@ func Distinguish(cfg pipeline.Config, build func(secret uint64) (*isa.Program, e
 	if err != nil {
 		return Report{}, err
 	}
-	o1, _, err := Observe(cfg, p1)
+	o1, err := ObservePooled(cfg, p1)
 	if err != nil {
 		return Report{}, fmt.Errorf("leak: run secret=%d: %w", s1, err)
 	}
-	o2, _, err := Observe(cfg, p2)
+	o2, err := ObservePooled(cfg, p2)
 	if err != nil {
 		return Report{}, fmt.Errorf("leak: run secret=%d: %w", s2, err)
 	}
@@ -165,7 +205,7 @@ func DistinguishMany(cfg pipeline.Config, build func(secret uint64) (*isa.Progra
 		if err != nil {
 			return Observation{}, err
 		}
-		o, _, err := Observe(cfg, p)
+		o, err := ObservePooled(cfg, p)
 		if err != nil {
 			return Observation{}, fmt.Errorf("leak: run secret=%d: %w", s, err)
 		}

@@ -177,6 +177,18 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) {
 	m.writeSpan(addr, b)
 }
 
+// Reset zeroes the memory image without releasing its pages: allocated
+// pages are cleared in place and stay mapped, so a reloaded program reuses
+// them instead of faulting fresh ones. Zero-filled pages are
+// indistinguishable from absent ones (see Equal), so a reset memory is
+// semantically empty.
+func (m *Memory) Reset() {
+	for _, pg := range m.pages {
+		clear(pg)
+	}
+	m.lastKey, m.lastPg = noPage, nil
+}
+
 // Clone returns a deep copy of the memory image. Used by differential tests
 // that run the same image on two machines.
 func (m *Memory) Clone() *Memory {

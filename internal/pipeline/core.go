@@ -115,6 +115,9 @@ type Core struct {
 	sbCur    int32 // block being replayed, -1 when none
 	sbCurIdx int32 // next entry within sbCur
 	SBStats  SuperblockStats
+	// sbEntryPool recycles superblock entry slices across Reset, so a pooled
+	// core's rebuilds after reset are allocation-free at steady state.
+	sbEntryPool [][]sbEntry
 
 	// Micro-op recycling (zero-alloc steady state).
 	pool      uopPool
@@ -146,10 +149,10 @@ type Core struct {
 	// into per-segment timings an attacker program "measures". BranchWatch,
 	// when non-nil, sees every committed conditional branch with its outcome
 	// and whether it mispredicted. Both are nil in normal runs and cost one
-	// nil check per committed op. Arming either hook also steers fetch onto
-	// the legacy per-instruction walk (see fetch) — replayed traces are
-	// cycle-identical by construction, but the attack lab's observation
-	// streams stay pinned to the code path they were validated on.
+	// nil check per committed op. Both hooks fire at retire, independent of
+	// which fetch path produced the micro-op, so arming them composes with
+	// the superblock replay front end (whose cycle-level equivalence the
+	// differential scenario suite pins).
 	MemWatch    func(addr uint64, write bool, cycle uint64)
 	BranchWatch func(pc uint64, taken, mispredicted bool, cycle uint64)
 

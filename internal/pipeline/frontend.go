@@ -87,9 +87,10 @@ func (c *Core) predecAt(off int) *predec {
 // per-instruction walk (decode, classify, and predecode each pc on every
 // dynamic fetch) and the superblock replay path (superblock.go), which
 // copies prototype micro-ops out of cached straight-line traces. The replay
-// path is used whenever the engine is enabled and no observation hook is
-// armed; arming MemWatch/BranchWatch pins the attack lab's observation
-// streams to the code path they were validated on.
+// path is used whenever the engine is enabled; the MemWatch/BranchWatch
+// hooks fire at retire and observe identical streams on either path (the
+// differential scenario suite pins the equivalence), so arming them no
+// longer forces the legacy walk.
 func (c *Core) fetch() {
 	if c.fetchHalted || c.fetchBroken {
 		return
@@ -98,7 +99,7 @@ func (c *Core) fetch() {
 		c.Stats.FetchStallCycles++
 		return
 	}
-	if c.sbOff || c.MemWatch != nil || c.BranchWatch != nil {
+	if c.sbOff {
 		c.fetchLegacy()
 		return
 	}

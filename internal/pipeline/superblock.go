@@ -37,7 +37,9 @@ import (
 // no staleness edges to invalidate for; the only way a cached block could
 // go stale is the program's code bytes changing, which cannot happen within
 // a run (the ISA has no stores to the code image) — across runs every
-// pipeline.New starts with an empty superblock cache.
+// pipeline.New starts with an empty superblock cache, and Core.Reset drops
+// every cached block (recycling the entry slices) before loading the next
+// program.
 
 // sbKind classifies how an entry's front-end behavior is produced at replay.
 type sbKind uint8
@@ -174,7 +176,13 @@ func (c *Core) sbLookup() bool {
 // undecodable instruction just ends the block: replay will re-look-up at
 // that pc and only then latch fetchBroken, matching legacy timing.
 func (c *Core) sbBuild(off int) int32 {
-	entries := make([]sbEntry, 0, 16)
+	var entries []sbEntry
+	if n := len(c.sbEntryPool); n > 0 {
+		entries = c.sbEntryPool[n-1]
+		c.sbEntryPool = c.sbEntryPool[:n-1]
+	} else {
+		entries = make([]sbEntry, 0, 16)
+	}
 	pos := off
 	for len(entries) < sbMaxEntries && pos < len(c.prog.Code) {
 		// Goes through the shared predecode cache, so a run that mixes

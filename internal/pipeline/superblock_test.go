@@ -137,10 +137,10 @@ func TestSuperblockProgramChangeAcrossRuns(t *testing.T) {
 	}
 }
 
-// TestSuperblockWatchHooksMidRun: arming a watch hook mid-run must divert
-// fetch to the legacy walk (the hooks observe per-commit events whose
-// cycle stamps the replay path must not perturb) and still produce the
-// exact event stream a never-superblocked core produces.
+// TestSuperblockWatchHooksMidRun: watch hooks fire at retire, independent of
+// whether the uop arrived via replay or the legacy decode walk, so arming a
+// hook mid-run must produce the exact event stream — addresses AND cycle
+// stamps — a never-superblocked core produces.
 func TestSuperblockWatchHooksMidRun(t *testing.T) {
 	prog := asm.MustAssemble(`
 		main:

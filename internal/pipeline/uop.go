@@ -122,6 +122,20 @@ func (p *uopPool) put(i uref) {
 	p.free = append(p.free, i)
 }
 
+// reset returns every arena slot to the free list, highest index first, so
+// the next get sequence hands out ascending indices — the same order a
+// fresh pool's lazy growth produces. Slot contents are not zeroed here:
+// get zeroes on acquisition and getRaw callers overwrite the whole struct.
+func (p *uopPool) reset() {
+	if cap(p.free) < len(p.arena) {
+		p.free = make([]uref, 0, len(p.arena)+uopChunk)
+	}
+	p.free = p.free[:0]
+	for i := len(p.arena) - 1; i >= 0; i-- {
+		p.free = append(p.free, uref(i))
+	}
+}
+
 // uopRing is a fixed-capacity FIFO of in-flight micro-op references. The
 // front-end buffers (fetchBuf, decodeQ) pop from the head every cycle; the
 // backing store is rounded up to a power of two so head arithmetic is a mask

@@ -73,6 +73,13 @@ func (s *Stride) OnAccess(pc, addr uint64, miss bool) {
 	}
 }
 
+// Reset restores the prefetcher to fresh-construction state without
+// reallocating its table.
+func (s *Stride) Reset() {
+	clear(s.entries)
+	s.Issued = 0
+}
+
 // Stream is a next-line stream prefetcher: on a demand miss it checks for a
 // recent miss to the previous line and, when found, prefetches the following
 // Depth lines. This is the "stream pref. (L2)" of Table II.
@@ -113,6 +120,14 @@ func (s *Stream) OnAccess(pc, addr uint64, miss bool) {
 	}
 	s.recent[s.head] = line
 	s.head = (s.head + 1) % len(s.recent)
+}
+
+// Reset restores the prefetcher to fresh-construction state without
+// reallocating its miss window.
+func (s *Stream) Reset() {
+	clear(s.recent)
+	s.head = 0
+	s.Issued, s.matched = 0, 0
 }
 
 // Matches returns how many stream patterns were detected.

@@ -83,6 +83,22 @@ type Victim interface {
 	Fragment(key uint64, w, bit int) Fragment
 }
 
+// KeyInits is the optional capability contract behind the attack lab's
+// compile-memoization fast path. A victim implementing it guarantees that
+// for fixed (w, bit) its Fragment is STRUCTURALLY identical for every key —
+// same declarations in the same order, same statements, same condition —
+// with the key reaching the program only through the Init values of the
+// scalars reported here. KeyInits reports those (name, value) pairs for a
+// given key via put; every scalar it does not report has a key-independent
+// Init. The attack drivers compile one template per (victim, w, bit, ...)
+// shape and patch only these slots per trial; victims that do not implement
+// the interface (or violate the contract, which the patched-vs-fresh
+// byte-equality test in internal/attack pins) take the full per-trial
+// compilation path instead.
+type KeyInits interface {
+	KeyInits(key uint64, w, bit int, put func(name string, val int64))
+}
+
 // ReservedNames are the scaffold-owned declaration names a victim fragment
 // must avoid. The list is shared with internal/attack's program builders;
 // a collision fails lang validation when the trial program is built.

@@ -31,6 +31,10 @@ func (bitVictim) Fragment(key uint64, w, bit int) Fragment {
 	}
 }
 
+func (bitVictim) KeyInits(key uint64, w, bit int, put func(name string, val int64)) {
+	put("s", int64((key>>bit)&1))
+}
+
 // keyloopVictim models a W-bit key consumed bit-serially: each setup
 // iteration branches on one earlier key bit and does asymmetric work on
 // its accumulator — the generic shape of a bit-serial crypto loop. The
@@ -62,6 +66,10 @@ func (keyloopVictim) Fragment(key uint64, w, bit int) Fragment {
 		},
 		Cond: lang.B(lang.And, lang.B(lang.Shr, lang.V("kk"), lang.N(int64(bit))), lang.N(1)),
 	}
+}
+
+func (keyloopVictim) KeyInits(key uint64, w, bit int, put func(name string, val int64)) {
+	put("kk", int64(key))
 }
 
 // modexpVictim is the paper's Fig. 1 motivating example as an attack
@@ -102,6 +110,10 @@ func (modexpVictim) Fragment(key uint64, w, bit int) Fragment {
 		},
 		Cond: lang.B(lang.And, lang.B(lang.Shr, lang.V("me"), lang.N(int64(bit))), lang.N(1)),
 	}
+}
+
+func (modexpVictim) KeyInits(key uint64, w, bit int, put func(name string, val int64)) {
+	put("me", int64(key))
 }
 
 // ctcompareGuess is the public value the constant-time compare checks the
@@ -149,4 +161,8 @@ func (ctcompareVictim) Fragment(key uint64, w, bit int) Fragment {
 		// scaffold's conditional is a public constant, never the secret.
 		Cond: lang.B(lang.And, lang.V("cm"), lang.N(0)),
 	}
+}
+
+func (ctcompareVictim) KeyInits(key uint64, w, bit int, put func(name string, val int64)) {
+	put("ck", int64(key))
 }

@@ -33,10 +33,21 @@ if [ -z "$minst" ] || [ -z "$ipc" ]; then
     exit 1
 fi
 
+# Provenance: the commit is resolved at RUN time (not when the entry is
+# finally committed), and a dirty flag records whether the tree had
+# uncommitted changes — a "pre" entry recorded mid-PR is otherwise
+# indistinguishable from one recorded at the labeled commit.
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+dirty=false
+if ! git diff --quiet HEAD 2>/dev/null; then
+    dirty=true
+fi
+
 entry=$(cat <<EOF
 {
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "commit": "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)",
+  "commit": "$commit",
+  "dirty": $dirty,
   "label": "$LABEL",
   "host_cpus": $(nproc),
   "minst_per_s": $minst,
