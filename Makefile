@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke bench-record sweep serve smoke-cluster smoke-attack smoke-keyextract clean
+.PHONY: check vet build test race bench bench-smoke bench-record sweep serve smoke-cluster smoke-attack smoke-keyextract obs-smoke clean
 
 # check is the tier-1 gate plus a benchmark smoke run.
 check: vet build test bench-smoke
@@ -48,8 +48,20 @@ serve:
 
 # smoke-cluster boots two local workers, shards a quick fig10a sweep
 # across them, and diffs the merged JSON against a serial run (then
-# re-runs warm from the on-disk store). CI runs this too.
+# scrapes /metrics from both live workers and re-runs warm from the
+# on-disk store). CI runs this too.
 smoke-cluster:
+	./scripts/cluster_smoke.sh
+
+# obs-smoke exercises the observability layer end to end: the metrics
+# registry and journal unit tests, the /metrics + /runs/{id}/events serve
+# tests (distributed spans included), the instrumentation-inertness
+# differential with its zero-alloc gate, then the cluster smoke's
+# live-fleet /metrics scrape.
+obs-smoke:
+	$(GO) test ./internal/obs/
+	$(GO) test ./internal/serve/ -run 'TestMetrics|TestRunEvents|TestPprof|TestDistributedRunThroughServe'
+	$(GO) test ./internal/experiments/ -run 'TestObservabilityDifferential|TestSteadyStateZeroAllocWithMetrics'
 	./scripts/cluster_smoke.sh
 
 # smoke-attack runs the attack lab end to end: the baseline must leak the

@@ -33,6 +33,7 @@ import (
 	"os"
 
 	"repro/internal/attack"
+	"repro/internal/obs"
 	"repro/internal/stattest"
 	"repro/internal/victim"
 )
@@ -52,6 +53,7 @@ func main() {
 		listVics  = flag.Bool("list-victims", false, "list the registered victims and exit")
 		workers   = flag.Int("workers", 1, "trial worker pool size (results are bit-identical at any value)")
 		sbstats   = flag.Bool("sbstats", false, "report throughput-engine counters (template cache, core pool, superblock builds/replays/legacy ops)")
+		metricsF  = flag.String("metrics", "", "after the run, write the Prometheus text exposition of the process metric families to this file (- for stderr)")
 		format    = flag.String("format", "text", "output encoding: text|json")
 		check     = flag.Bool("check", false, "exit 1 unless every baseline attack leaks (leaky victims: full key) and every SeMPE attack is secure")
 	)
@@ -147,6 +149,7 @@ func main() {
 			}
 			printPerf(*sbstats)
 		}
+		dumpMetrics(*metricsF)
 		gate(*check, ok, "expected every leaky victim to yield its full key on the baseline, and every SeMPE or constant-time result to stay secure")
 		return
 	}
@@ -188,7 +191,29 @@ func main() {
 		printPerf(*sbstats)
 	}
 
+	dumpMetrics(*metricsF)
 	gate(*check, ok, "expected every baseline attack to leak and every SeMPE attack to be secure")
+}
+
+// dumpMetrics writes the process-wide metric families (the same counters
+// behind -sbstats, as Prometheus text exposition) to path, "-" meaning
+// stderr so it composes with -format json on stdout.
+func dumpMetrics(path string) {
+	if path == "" {
+		return
+	}
+	if path == "-" {
+		obs.Default().WriteText(os.Stderr)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("metrics: %v", err)
+	}
+	obs.Default().WriteText(f)
+	if err := f.Close(); err != nil {
+		fatal("metrics: %v", err)
+	}
 }
 
 // emitJSON encodes the results, wrapping them with the throughput-engine
@@ -220,6 +245,10 @@ func printPerf(sbstats bool) {
 	fmt.Printf("perf: core pool %d built / %d reset\n", p.CoreBuilds, p.CoreResets)
 	fmt.Printf("perf: superblocks %d built, %d replayed ops, %d legacy ops\n",
 		p.SBBuilds, p.SBReplays, p.SBLegacyOps)
+	if p.TrialSeconds > 0 {
+		fmt.Printf("perf: %d trials in %.3fs (%.0f trials/s)\n",
+			p.Trials, p.TrialSeconds, float64(p.Trials)/p.TrialSeconds)
+	}
 }
 
 func fatal(format string, args ...any) {

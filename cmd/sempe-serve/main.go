@@ -8,12 +8,21 @@
 //
 //	sempe-serve -addr :8080 -store results/
 //	sempe-serve -addr :8081 -worker        # cluster worker (POST /shards)
+//	sempe-serve -cluster-workers http://a:8081,http://b:8082   # front a fleet
 //
 //	curl localhost:8080/scenarios
 //	curl -X POST localhost:8080/runs -d '{"scenario":"fig10a","spec":{"quick":true},"wait":true}'
 //	curl -X POST localhost:8080/runs -d '{"scenario":"leakmatrix"}'   # 202 + poll
 //	curl localhost:8080/runs/run-2
+//	curl localhost:8080/runs/run-2/events     # span journal for the run
 //	curl -X POST localhost:8080/runs/run-2/cancel
+//	curl localhost:8080/metrics               # Prometheus text exposition
+//
+// Observability: GET /metrics always serves the Prometheus text exposition
+// (HTTP latency/status, run lifecycle, cache/store effectiveness, semaphore
+// occupancy, simulator counters); -pprof additionally mounts
+// net/http/pprof under /debug/pprof/. Logs go to stderr via log/slog at
+// -log-level (worker drops and shard retries are logged at warn).
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes, and
 // in-flight HTTP requests get -shutdown-grace to finish before the process
@@ -25,12 +34,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	_ "repro/internal/experiments" // registers the paper's scenarios
 	"repro/internal/scenario"
 	"repro/internal/serve"
@@ -39,29 +50,52 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("max-workers", 0, "cap on per-run worker goroutines (0 = all CPUs)")
-		runs     = flag.Int("max-runs", 2, "sweeps simulating concurrently; further runs queue")
-		entries  = flag.Int("cache", 64, "LRU result-cache capacity (completed runs)")
-		storeDir = flag.String("store", "", "persistent result-store directory (empty = in-memory cache only)")
-		worker   = flag.Bool("worker", false, "enable the cluster shard endpoint (POST /shards) for sempe-sweep")
-		grace    = flag.Duration("shutdown-grace", 15*time.Second, "how long in-flight requests get to finish on SIGINT/SIGTERM")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("max-workers", 0, "cap on per-run worker goroutines (0 = all CPUs)")
+		runs      = flag.Int("max-runs", 2, "sweeps simulating concurrently; further runs queue")
+		entries   = flag.Int("cache", 64, "LRU result-cache capacity (completed runs)")
+		storeDir  = flag.String("store", "", "persistent result-store directory (empty = in-memory cache only)")
+		worker    = flag.Bool("worker", false, "enable the cluster shard endpoint (POST /shards) for sempe-sweep")
+		clusterF  = flag.String("cluster-workers", "", "comma-separated sempe-serve -worker URLs; shardable runs are dispatched to the fleet instead of computed locally")
+		shardSize = flag.Int("cluster-shard", 0, "grid points per dispatched shard with -cluster-workers (0 = coordinator default)")
+		pprofF    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		grace     = flag.Duration("shutdown-grace", 15*time.Second, "how long in-flight requests get to finish on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
+	lvl, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sempe-serve: %v\n", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
+	log := logger.With("cmd", "sempe-serve")
+
+	clusterWorkers, err := cluster.ParseWorkers(*clusterF)
+	if err != nil {
+		log.Error("bad -cluster-workers", "err", err)
+		os.Exit(1)
+	}
 	opts := serve.Options{
 		MaxWorkers:        *workers,
 		MaxConcurrentRuns: *runs,
 		CacheEntries:      *entries,
 		Worker:            *worker,
+		ClusterWorkers:    clusterWorkers,
+		ClusterShardSize:  *shardSize,
+		EnablePprof:       *pprofF,
+		Logger:            log,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
-			log.Fatalf("sempe-serve: %v", err)
+			log.Error("store open failed", "dir", *storeDir, "err", err)
+			os.Exit(1)
 		}
 		opts.Store = st
-		log.Printf("sempe-serve: result store at %s (code version %s)", st.Dir(), store.CodeVersion)
+		log.Info("result store open", "dir", st.Dir(), "code_version", store.CodeVersion)
 	}
 	srv := serve.New(opts)
 
@@ -69,7 +103,11 @@ func main() {
 	if *worker {
 		mode = "server+worker"
 	}
-	log.Printf("sempe-serve: %s listening on %s (%d scenarios registered)", mode, *addr, len(scenario.Names()))
+	if len(clusterWorkers) > 0 {
+		mode += "+coordinator"
+	}
+	log.Info("listening", "mode", mode, "addr", *addr,
+		"scenarios", len(scenario.Names()), "pprof", *pprofF)
 	for _, name := range scenario.Names() {
 		fmt.Printf("  %s\n", name)
 	}
@@ -81,16 +119,33 @@ func main() {
 	go func() {
 		<-ctx.Done()
 		stop() // a second signal kills immediately via the default handler
-		log.Printf("sempe-serve: shutting down (grace %v)", *grace)
+		log.Info("shutting down", "grace", *grace)
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		done <- hs.Shutdown(sctx)
 	}()
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("sempe-serve: %v", err)
+		log.Error("listen failed", "err", err)
+		os.Exit(1)
 	}
 	if err := <-done; err != nil {
-		log.Fatalf("sempe-serve: shutdown: %v", err)
+		log.Error("shutdown failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("sempe-serve: stopped")
+	log.Info("stopped")
+}
+
+// parseLogLevel maps the -log-level flag to a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", s)
 }

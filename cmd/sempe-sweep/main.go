@@ -14,6 +14,12 @@
 // from disk and how many shards were dispatched (and retried, when a
 // worker died mid-sweep).
 //
+// Observability: -verbose prints per-shard dispatch timings and per-worker
+// throughput (points/s) after the sweep; -events FILE writes the full span
+// journal (probe, dispatch, retry, merge events with microsecond
+// timestamps) as JSON for offline analysis. Worker drops and shard retries
+// are logged via log/slog at -log-level.
+//
 // Maintenance: `sempe-sweep -store results/ -gc [-gc-age 720h]` prunes
 // entries written by other simulator versions (and, with -gc-age, entries
 // older than the cutoff) and exits.
@@ -24,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -33,6 +40,7 @@ import (
 
 	"repro/internal/cluster"
 	_ "repro/internal/experiments" // registers the paper's scenarios
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/store"
 )
@@ -51,9 +59,27 @@ func main() {
 		format    = flag.String("format", "json", "output encoding: text|json|csv")
 		gc        = flag.Bool("gc", false, "garbage-collect the -store directory (stale code versions; see -gc-age) and exit")
 		gcAge     = flag.Duration("gc-age", 0, "with -gc, also prune entries older than this (0 = version-based pruning only)")
+		logLevel  = flag.String("log-level", "warn", "log verbosity: debug|info|warn|error")
+		verbose   = flag.Bool("verbose", false, "print per-shard timings and per-worker throughput after the sweep")
+		eventsF   = flag.String("events", "", "write the sweep's span journal (JSON events) to this file")
 	)
 	flag.Var(params, "param", "scenario parameter key=value (repeatable)")
 	flag.Parse()
+
+	lvl := slog.LevelWarn
+	switch *logLevel {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		fatal("unknown -log-level %q (want debug, info, warn, or error)", *logLevel)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	if *gc {
 		if *storeDir == "" {
@@ -89,6 +115,8 @@ func main() {
 		ShardSize:   *shardSize,
 		MaxAttempts: *attempts,
 		Timeout:     *timeout,
+		Journal:     obs.NewJournal(),
+		Logger:      logger,
 	}
 	workers, err := cluster.ParseWorkers(*workersF)
 	if err != nil {
@@ -146,6 +174,37 @@ func main() {
 		rep.Points, rep.StorePoints, rep.Shards, rep.Dispatched, rep.Retries)
 	for _, w := range rep.DroppedWorkers {
 		fmt.Fprintf(os.Stderr, "dropped worker: %s\n", w)
+	}
+	if *verbose {
+		for _, ss := range rep.ShardStats {
+			fmt.Fprintf(os.Stderr, "shard %d [%s]: %d points on %s, %d attempt(s), %.1fms\n",
+				ss.Shard, ss.Indices, ss.Points, ss.Worker, ss.Attempts, ss.Millis)
+		}
+		for _, ws := range rep.WorkerStats {
+			state := "healthy"
+			if ws.Dropped {
+				state = "dropped"
+			} else if !ws.Healthy {
+				state = "unreachable"
+			}
+			fmt.Fprintf(os.Stderr, "worker %s: %s, %d shards, %d points, %d failures, %.1fms busy, %.0f points/s\n",
+				ws.URL, state, ws.Shards, ws.Points, ws.Failures, ws.BusyMillis, ws.PointsPerSec)
+		}
+	}
+	if *eventsF != "" {
+		f, err := os.Create(*eventsF)
+		if err != nil {
+			fatal("events: %v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep.Events); err != nil {
+			fatal("events: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("events: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "journal: %d events written to %s\n", len(rep.Events), *eventsF)
 	}
 }
 

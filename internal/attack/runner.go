@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/compile"
 	"repro/internal/isa"
@@ -72,6 +73,12 @@ type Perf struct {
 	SBBuilds          uint64 `json:"sb_builds"`
 	SBReplays         uint64 `json:"sb_replays"`
 	SBLegacyOps       uint64 `json:"sb_legacy_ops"`
+	// Trials and TrialSeconds measure batch throughput: trials completed
+	// across all runTrials batches and the wall-clock seconds those batches
+	// took (summed per batch, so parallel batches count once). Trials /
+	// TrialSeconds is the engine's trials/s.
+	Trials       uint64  `json:"trials"`
+	TrialSeconds float64 `json:"trial_seconds"`
 }
 
 var perfCounters struct {
@@ -81,6 +88,8 @@ var perfCounters struct {
 	sbBuilds   atomic.Uint64
 	sbReplays  atomic.Uint64
 	sbLegacy   atomic.Uint64
+	trials     atomic.Uint64
+	trialNS    atomic.Uint64
 }
 
 // PerfSnapshot returns the cumulative throughput-engine counters.
@@ -96,6 +105,8 @@ func PerfSnapshot() Perf {
 		SBBuilds:          perfCounters.sbBuilds.Load(),
 		SBReplays:         perfCounters.sbReplays.Load(),
 		SBLegacyOps:       perfCounters.sbLegacy.Load(),
+		Trials:            perfCounters.trials.Load(),
+		TrialSeconds:      float64(perfCounters.trialNS.Load()) / 1e9,
 	}
 }
 
@@ -352,6 +363,15 @@ func runTrials(p Params, n, workers int, fn func(r *runner, t int) error) error 
 	if workers > n {
 		workers = n
 	}
+	// Throughput accounting: trials completed plus the batch's wall time
+	// feed the sempe_attack_trials_total / _trial_seconds_total metric
+	// families (trials/s). One atomic add per worker plus one per batch —
+	// nothing allocates and nothing is added to the per-trial fast path,
+	// so the zero-alloc and determinism gates are untouched.
+	batchStart := time.Now()
+	defer func() {
+		perfCounters.trialNS.Add(uint64(time.Since(batchStart)))
+	}()
 	if workers <= 1 {
 		r, err := newRunner(p)
 		if err != nil {
@@ -359,9 +379,11 @@ func runTrials(p Params, n, workers int, fn func(r *runner, t int) error) error 
 		}
 		for t := 0; t < n; t++ {
 			if err := fn(r, t); err != nil {
+				perfCounters.trials.Add(uint64(t))
 				return err
 			}
 		}
+		perfCounters.trials.Add(uint64(n))
 		return nil
 	}
 	runners := make([]*runner, workers)
@@ -381,6 +403,8 @@ func runTrials(p Params, n, workers int, fn func(r *runner, t int) error) error 
 		wg.Add(1)
 		go func(i int, r *runner) {
 			defer wg.Done()
+			completed := 0
+			defer func() { perfCounters.trials.Add(uint64(completed)) }()
 			for {
 				t := int(next.Add(1)) - 1
 				if t >= n {
@@ -390,6 +414,7 @@ func runTrials(p Params, n, workers int, fn func(r *runner, t int) error) error 
 					errs[i] = err
 					return
 				}
+				completed++
 			}
 		}(i, r)
 	}

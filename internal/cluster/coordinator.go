@@ -15,12 +15,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/store"
 )
@@ -59,6 +61,16 @@ type Options struct {
 	// Store, when set, serves already-computed points without dispatching
 	// and persists every newly computed row.
 	Store *store.Store
+	// Journal, when set, receives the coordinator's span stream (probe,
+	// dispatch, retry, merge) — a front end passes the run's journal so
+	// GET /runs/{id}/events shows the distributed execution. Nil means the
+	// coordinator journals into a private journal; either way the events
+	// are embedded in the provenance Report.
+	Journal *obs.Journal
+	// Logger receives structured dispatch logs (unreachable workers, shard
+	// retries, dropped workers — each with the worker address and reason).
+	// Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // Report describes where a distributed run's points came from and what
@@ -74,12 +86,44 @@ type Report struct {
 	// after repeated shard failures.
 	Unreachable    []string `json:"unreachable_workers,omitempty"`
 	DroppedWorkers []string `json:"dropped_workers,omitempty"`
+	// ShardStats records, per shard, the wall-clock duration of the
+	// successful dispatch, the worker that completed it, and how many
+	// attempts it took — slow or flaky workers are identifiable post-run.
+	ShardStats []ShardStat `json:"shard_stats,omitempty"`
+	// WorkerStats aggregates per-worker health and throughput.
+	WorkerStats []WorkerStat `json:"worker_stats,omitempty"`
+	// Events embeds the coordinator's run-event journal: ordered spans for
+	// the health probe and every shard dispatch, retry, and merge.
+	Events []obs.Event `json:"events,omitempty"`
+}
+
+// ShardStat is one shard's dispatch provenance.
+type ShardStat struct {
+	Shard    int     `json:"shard"`
+	Indices  string  `json:"indices"` // "[lo..hi:n]" grid-point label
+	Points   int     `json:"points"`
+	Worker   string  `json:"worker,omitempty"` // worker that completed it ("" = local/store)
+	Attempts int     `json:"attempts"`
+	Millis   float64 `json:"millis"` // wall clock of the successful dispatch
+}
+
+// WorkerStat is one worker's health and throughput over the sweep.
+type WorkerStat struct {
+	URL          string  `json:"url"`
+	Healthy      bool    `json:"healthy"`           // startup probe outcome
+	Dropped      bool    `json:"dropped,omitempty"` // dropped mid-sweep
+	Shards       int     `json:"shards"`            // shards completed
+	Points       int     `json:"points"`
+	Failures     int     `json:"failures"` // failed dispatches charged to it
+	BusyMillis   float64 `json:"busy_millis"`
+	PointsPerSec float64 `json:"points_per_sec"`
 }
 
 // Coordinator shards sweeps across workers. Safe for sequential reuse;
 // one Run at a time.
 type Coordinator struct {
 	opts Options
+	log  *slog.Logger
 }
 
 // sharedClient is the process-wide default shard-dispatch client. Every
@@ -121,7 +165,11 @@ func New(opts Options) *Coordinator {
 	if opts.Client == nil {
 		opts.Client = sharedClient
 	}
-	return &Coordinator{opts: opts}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Coordinator{opts: opts, log: logger}
 }
 
 // Run executes the scenario's sweep — store first, then the worker fleet
@@ -145,6 +193,16 @@ func (c *Coordinator) Run(ctx context.Context, sc *scenario.Scenario, spec scena
 	rep := &Report{Points: len(pts)}
 	start := time.Now()
 
+	// The journal records the distributed execution: every span lands in
+	// rep.Events, and a caller-supplied journal (the serve front end's
+	// per-run journal) additionally surfaces them on /runs/{id}/events.
+	j := c.opts.Journal
+	if j == nil {
+		j = obs.NewJournal()
+	}
+	sweepSpan := j.Begin("cluster_sweep", obs.Fields{
+		"scenario": sc.Name, "points": len(pts), "workers": len(c.opts.Workers)})
+
 	rows := make([]any, len(pts))
 	var missing []int
 	for i := range pts {
@@ -159,17 +217,30 @@ func (c *Coordinator) Run(ctx context.Context, sc *scenario.Scenario, spec scena
 		}
 		missing = append(missing, i)
 	}
+	if c.opts.Store != nil {
+		j.Event("store_scan", obs.Fields{"points": len(pts), "store_points": rep.StorePoints})
+	}
 
 	if len(missing) > 0 {
 		if len(c.opts.Workers) == 0 {
+			localSpan := j.Begin("local", obs.Fields{"points": len(missing)})
 			err = c.runLocal(ctx, sw, spec, specKey, axes, pts, missing, rows)
+			if err != nil {
+				localSpan.End(obs.Fields{"error": err.Error()})
+			} else {
+				localSpan.End(nil)
+			}
 		} else {
-			err = c.dispatch(ctx, sc.Name, sw, spec, specKey, pts, missing, rows, rep)
+			err = c.dispatch(ctx, sc.Name, sw, spec, specKey, pts, missing, rows, rep, j)
 		}
 		if err != nil {
+			sweepSpan.End(obs.Fields{"error": err.Error()})
+			rep.Events = j.Events()
 			return nil, rep, fmt.Errorf("%s: %w", sc.Name, err)
 		}
 	}
+	sweepSpan.End(nil)
+	rep.Events = j.Events()
 
 	return &scenario.Result{
 		Scenario:      sc.Name,
@@ -213,6 +284,7 @@ func (c *Coordinator) putRow(sw *scenario.Sweep, specKey string, i int, row any)
 
 // task is one shard's dispatch state.
 type task struct {
+	shard    int // position in the shard list, for stats and spans
 	indices  []int
 	attempts int
 }
@@ -226,7 +298,8 @@ const probeTimeout = 10 * time.Second
 // recorded in the report — a dead address would otherwise surface as
 // puzzling mid-sweep retries — and an entirely unreachable fleet fails
 // fast with ErrNoReachableWorkers.
-func (c *Coordinator) probeWorkers(ctx context.Context, rep *Report) ([]string, error) {
+func (c *Coordinator) probeWorkers(ctx context.Context, rep *Report, j *obs.Journal) ([]string, error) {
+	probeSpan := j.Begin("probe", obs.Fields{"workers": len(c.opts.Workers)})
 	timeout := probeTimeout
 	if c.opts.Timeout < timeout {
 		timeout = c.opts.Timeout
@@ -269,7 +342,15 @@ func (c *Coordinator) probeWorkers(ctx context.Context, rep *Report) ([]string, 
 			continue
 		}
 		rep.Unreachable = append(rep.Unreachable, url)
+		reason := "unknown"
+		if errs[i] != nil {
+			reason = errs[i].Error()
+		}
+		c.log.Warn("cluster: worker unreachable at startup, dropped from fleet",
+			"worker", url, "reason", reason)
+		j.Event("worker_unreachable", obs.Fields{"worker": url, "reason": reason})
 	}
+	probeSpan.End(obs.Fields{"alive": len(alive)})
 	if len(alive) == 0 {
 		first := errs[0]
 		for _, err := range errs {
@@ -286,17 +367,25 @@ func (c *Coordinator) probeWorkers(ctx context.Context, rep *Report) ([]string, 
 
 // dispatch fans the missing points across the worker fleet (the workers
 // the startup health probe found alive).
-func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sweep, spec scenario.Spec, specKey string, pts []scenario.Point, missing []int, rows []any, rep *Report) error {
-	workers, err := c.probeWorkers(ctx, rep)
+func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sweep, spec scenario.Spec, specKey string, pts []scenario.Point, missing []int, rows []any, rep *Report, j *obs.Journal) error {
+	wstats := make(map[string]*WorkerStat, len(c.opts.Workers))
+	for _, url := range c.opts.Workers {
+		wstats[url] = &WorkerStat{URL: url}
+	}
+	workers, err := c.probeWorkers(ctx, rep, j)
 	if err != nil {
 		return err
+	}
+	for _, url := range workers {
+		wstats[url].Healthy = true
 	}
 	var tasks []*task
 	for lo := 0; lo < len(missing); lo += c.opts.ShardSize {
 		hi := min(lo+c.opts.ShardSize, len(missing))
-		tasks = append(tasks, &task{indices: missing[lo:hi]})
+		tasks = append(tasks, &task{shard: len(tasks), indices: missing[lo:hi]})
 	}
 	rep.Shards = len(tasks)
+	shardStats := make([]*ShardStat, len(tasks))
 
 	// Capacity covers every send that can ever happen (initial queue plus
 	// every retry), so a worker goroutine re-queueing never blocks.
@@ -341,6 +430,10 @@ func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sw
 				mu.Lock()
 				rep.Dispatched++
 				mu.Unlock()
+				label := shardLabel(t.indices)
+				dispatchSpan := j.Begin("dispatch", obs.Fields{
+					"shard": t.shard, "indices": label, "worker": url, "points": len(t.indices)})
+				t0 := time.Now()
 				resp, fatal, err := c.postShard(cctx, url, ShardRequest{
 					Scenario: name,
 					Spec:     spec,
@@ -348,7 +441,14 @@ func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sw
 					Total:    len(pts),
 					Version:  store.CodeVersion,
 				})
+				elapsed := float64(time.Since(t0)) / float64(time.Millisecond)
 				if err != nil {
+					dispatchSpan.End(obs.Fields{"error": err.Error()})
+					mu.Lock()
+					ws := wstats[url]
+					ws.Failures++
+					ws.BusyMillis += elapsed
+					mu.Unlock()
 					if cctx.Err() != nil {
 						return
 					}
@@ -364,19 +464,28 @@ func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sw
 					t.attempts++
 					exhausted := t.attempts >= c.opts.MaxAttempts
 					mu.Unlock()
+					c.log.Warn("cluster: shard dispatch failed, re-queueing",
+						"shard", label, "worker", url, "reason", err.Error(), "attempt", t.attempts)
 					if exhausted {
 						fail(fmt.Errorf("shard %v failed %d times, last on %s: %w",
-							shardLabel(t.indices), t.attempts, url, err))
+							label, t.attempts, url, err))
 						return
 					}
+					j.Event("retry", obs.Fields{
+						"shard": t.shard, "indices": label, "worker": url,
+						"reason": err.Error(), "attempt": t.attempts})
 					pending <- t
 					consecutive++
 					if consecutive >= c.opts.WorkerFailLimit {
 						mu.Lock()
 						rep.DroppedWorkers = append(rep.DroppedWorkers, url)
+						wstats[url].Dropped = true
 						alive--
 						last := alive == 0
 						mu.Unlock()
+						c.log.Warn("cluster: worker dropped after repeated failures",
+							"worker", url, "consecutive_failures", consecutive, "reason", err.Error())
+						j.Event("worker_dropped", obs.Fields{"worker": url, "reason": err.Error()})
 						if last {
 							fail(fmt.Errorf("no surviving workers (last failure on %s: %v)", url, err))
 						}
@@ -384,24 +493,36 @@ func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sw
 					}
 					continue
 				}
+				dispatchSpan.End(nil)
 				consecutive = 0
 				if len(resp.Rows) != len(t.indices) {
 					fail(fmt.Errorf("worker %s: shard %v returned %d rows, want %d",
-						url, shardLabel(t.indices), len(resp.Rows), len(t.indices)))
+						url, label, len(resp.Rows), len(t.indices)))
 					return
 				}
-				for j, idx := range t.indices {
-					row, err := sw.DecodeRow(resp.Rows[j])
+				mergeSpan := j.Begin("merge", obs.Fields{"shard": t.shard, "worker": url})
+				for k, idx := range t.indices {
+					row, err := sw.DecodeRow(resp.Rows[k])
 					if err != nil {
+						mergeSpan.End(obs.Fields{"error": err.Error()})
 						fail(fmt.Errorf("worker %s: point %d: undecodable row: %w", url, idx, err))
 						return
 					}
 					rows[idx] = row
 					if c.opts.Store != nil {
-						c.opts.Store.PutRow(sw.ID, specKey, idx, resp.Rows[j])
+						c.opts.Store.PutRow(sw.ID, specKey, idx, resp.Rows[k])
 					}
 				}
+				mergeSpan.End(obs.Fields{"points": len(t.indices)})
 				mu.Lock()
+				shardStats[t.shard] = &ShardStat{
+					Shard: t.shard, Indices: label, Points: len(t.indices),
+					Worker: url, Attempts: t.attempts + 1, Millis: elapsed,
+				}
+				ws := wstats[url]
+				ws.Shards++
+				ws.Points += len(t.indices)
+				ws.BusyMillis += elapsed
 				remaining--
 				done := remaining == 0
 				mu.Unlock()
@@ -416,6 +537,18 @@ func (c *Coordinator) dispatch(ctx context.Context, name string, sw *scenario.Sw
 
 	mu.Lock()
 	defer mu.Unlock()
+	for _, st := range shardStats {
+		if st != nil {
+			rep.ShardStats = append(rep.ShardStats, *st)
+		}
+	}
+	for _, url := range c.opts.Workers {
+		ws := *wstats[url]
+		if ws.BusyMillis > 0 {
+			ws.PointsPerSec = float64(ws.Points) / (ws.BusyMillis / 1000)
+		}
+		rep.WorkerStats = append(rep.WorkerStats, ws)
+	}
 	if firstErr != nil {
 		return firstErr
 	}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Fields is a journal event's structured payload.
+type Fields map[string]any
+
+// Event is one journal entry. Events are strictly ordered by Seq; AtMicros
+// is the monotonic time since the journal was created, so event order and
+// timestamps agree even across goroutines. Span events come in begin/end
+// pairs sharing a Span id; the end event carries the span's duration.
+type Event struct {
+	Seq      int    `json:"seq"`
+	AtMicros int64  `json:"t_us"`
+	Name     string `json:"name"`
+	Phase    string `json:"phase,omitempty"` // "begin" | "end" for spans, empty for point events
+	Span     int    `json:"span,omitempty"`  // pairs begin/end; 0 for point events
+	DurUS    int64  `json:"dur_us,omitempty"`
+	Fields   Fields `json:"fields,omitempty"`
+}
+
+// Journal is an append-only, goroutine-safe run-event log. A nil *Journal
+// is a valid no-op sink: every method short-circuits, so instrumented code
+// paths need no enabled-checks and stay inert when no one is listening.
+type Journal struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+	spans  int
+}
+
+// NewJournal returns an empty journal anchored at the current monotonic
+// time.
+func NewJournal() *Journal {
+	return &Journal{start: time.Now()}
+}
+
+// Event appends a point event.
+func (j *Journal) Event(name string, fields Fields) {
+	if j == nil {
+		return
+	}
+	j.append(Event{Name: name, Fields: fields})
+}
+
+// Span is an in-flight begin/end pair. The zero Span (from a nil journal)
+// is valid; End on it is a no-op.
+type Span struct {
+	j    *Journal
+	id   int
+	name string
+	t0   time.Time
+}
+
+// Begin appends a span-begin event and returns the span to End.
+func (j *Journal) Begin(name string, fields Fields) Span {
+	if j == nil {
+		return Span{}
+	}
+	j.mu.Lock()
+	j.spans++
+	id := j.spans
+	j.appendLocked(Event{Name: name, Phase: "begin", Span: id, Fields: fields})
+	j.mu.Unlock()
+	return Span{j: j, id: id, name: name, t0: time.Now()}
+}
+
+// End appends the span-end event with the span's wall-clock duration.
+func (s Span) End(fields Fields) {
+	if s.j == nil {
+		return
+	}
+	s.j.append(Event{Name: s.name, Phase: "end", Span: s.id,
+		DurUS: time.Since(s.t0).Microseconds(), Fields: fields})
+}
+
+func (j *Journal) append(e Event) {
+	j.mu.Lock()
+	j.appendLocked(e)
+	j.mu.Unlock()
+}
+
+// appendLocked stamps and stores one event; the caller holds j.mu.
+func (j *Journal) appendLocked(e Event) {
+	e.Seq = len(j.events)
+	e.AtMicros = time.Since(j.start).Microseconds()
+	j.events = append(j.events, e)
+}
+
+// Events returns a copy of the journal so far, in append order.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.events...)
+}
+
+// Len returns the number of events appended so far.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -232,10 +233,15 @@ func (r *Result) Stable() *Result {
 // repeated runs of the same spec — simulate the grid once. Context, when
 // set, cancels the sweep between grid points: in-flight points finish,
 // remaining points are skipped, and the run returns the context's error.
+// Journal, when set, receives a per-sweep span plus one span per grid
+// point (labels and wall time); a nil Journal records nothing and costs
+// nothing — the observability differential test pins that instrumented
+// and uninstrumented runs are byte-identical.
 type RunOptions struct {
 	Progress func(done, total int)
 	Rows     *RowCache
 	Context  context.Context
+	Journal  *obs.Journal
 }
 
 // Run executes the scenario's sweep under spec and renders its tables.
@@ -246,10 +252,17 @@ func Run(sc *Scenario, spec Spec, opts RunOptions) (*Result, error) {
 	}
 	pts := Expand(axes)
 	start := time.Now()
+	var sweepSpan obs.Span
+	if opts.Journal != nil {
+		sweepSpan = opts.Journal.Begin("sweep", obs.Fields{
+			"scenario": sc.Name, "sweep": sc.Sweep.ID, "points": len(pts)})
+	}
 	rows, slowest, err := sweepRows(sc.Sweep, spec, axes, pts, opts)
 	if err != nil {
+		sweepSpan.End(obs.Fields{"error": err.Error()})
 		return nil, fmt.Errorf("%s: %w", sc.Name, err)
 	}
+	sweepSpan.End(nil)
 	return &Result{
 		Scenario:      sc.Name,
 		Spec:          spec,
@@ -299,12 +312,19 @@ func runPoints(sw *Sweep, spec Spec, axes []Axis, pts []Point, opts RunOptions) 
 		if opts.Context != nil && opts.Context.Err() != nil {
 			return opts.Context.Err()
 		}
+		var pointSpan obs.Span
+		if opts.Journal != nil {
+			pointSpan = opts.Journal.Begin("point", obs.Fields{
+				"index": i, "labels": pts[i].Labels(axes)})
+		}
 		t0 := time.Now()
 		row, err := sw.Run(spec, pts[i])
 		millis[i] = float64(time.Since(t0)) / float64(time.Millisecond)
 		if err != nil {
+			pointSpan.End(obs.Fields{"error": err.Error()})
 			return fmt.Errorf("point %v: %w", pts[i].Labels(axes), err)
 		}
+		pointSpan.End(nil)
 		rows[i] = row
 		if opts.Progress != nil {
 			mu.Lock()

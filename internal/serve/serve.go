@@ -10,9 +10,12 @@
 //	POST /runs             -> start (or instantly answer from cache) a run
 //	GET  /runs             -> all runs, newest first
 //	GET  /runs/{id}        -> one run: status, progress, and result when done
+//	GET  /runs/{id}/events -> the run's ordered span journal (engine + cluster)
 //	POST /runs/{id}/cancel -> stop an in-flight run between grid points
 //	POST /shards           -> simulate a grid subset (worker mode only)
+//	GET  /metrics          -> Prometheus text exposition (HTTP, runs, caches, simulator counters)
 //	GET  /healthz          -> liveness
+//	/debug/pprof/*         -> pprof profiles (opt-in: Options.EnablePprof)
 //
 // POST /runs accepts {"scenario": "fig10a", "spec": {"quick": true,
 // "workers": 4, "params": {"kinds": "fibonacci"}}, "wait": true}; with
@@ -26,11 +29,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/store"
 )
@@ -57,12 +64,29 @@ type Options struct {
 	// ShardVersion overrides the code version the shard endpoint accepts;
 	// empty means store.CodeVersion. Tests only.
 	ShardVersion string
+	// ClusterWorkers, when non-empty, turns this server into a cluster
+	// front end: shardable runs are dispatched across these worker base
+	// URLs through the cluster coordinator instead of simulating locally,
+	// and the run's journal records per-shard dispatch/retry/merge spans
+	// (GET /runs/{id}/events). Non-shardable scenarios still run locally.
+	ClusterWorkers []string
+	// ClusterShardSize is the grid points per dispatched shard; 0 means
+	// the coordinator default.
+	ClusterShardSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in,
+	// because profiles expose internals and cost CPU while sampling.
+	EnablePprof bool
+	// Logger receives structured run-lifecycle and dispatch logs; nil
+	// means slog.Default().
+	Logger *slog.Logger
 }
 
 // Server is the evaluation service. Create with New, mount via Handler.
 type Server struct {
-	opts Options
-	sem  chan struct{}
+	opts    Options
+	sem     chan struct{}
+	metrics *serverMetrics
+	log     *slog.Logger
 
 	mu     sync.Mutex
 	runs   map[string]*run
@@ -92,6 +116,11 @@ type run struct {
 	result   *scenario.Result
 	finished chan struct{}
 	cancel   context.CancelFunc
+	// journal is the run's event stream: engine sweep/point spans, and for
+	// cluster-dispatched runs the coordinator's dispatch/retry/merge spans.
+	journal *obs.Journal
+	// report is the cluster provenance report for distributed runs.
+	report *cluster.Report
 }
 
 // New builds a server.
@@ -111,29 +140,46 @@ func New(opts Options) *Server {
 	if opts.ShardVersion == "" {
 		opts.ShardVersion = store.CodeVersion
 	}
-	return &Server{
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	s := &Server{
 		opts:  opts,
 		sem:   make(chan struct{}, opts.MaxConcurrentRuns),
+		log:   opts.Logger,
 		runs:  map[string]*run{},
 		cache: newLRU(opts.CacheEntries),
 		rows:  scenario.NewRowCache(),
 	}
+	s.metrics = newServerMetrics(s)
+	return s
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every route is wrapped with
+// the request-metrics middleware; /debug/pprof/ is mounted only when
+// Options.EnablePprof is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /scenarios", s.handleScenarios)
-	mux.HandleFunc("POST /runs", s.handleCreateRun)
-	mux.HandleFunc("GET /runs", s.handleListRuns)
-	mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
-	mux.HandleFunc("POST /runs/{id}/cancel", s.handleCancelRun)
+	s.route(mux, "GET /scenarios", s.handleScenarios)
+	s.route(mux, "POST /runs", s.handleCreateRun)
+	s.route(mux, "GET /runs", s.handleListRuns)
+	s.route(mux, "GET /runs/{id}", s.handleGetRun)
+	s.route(mux, "GET /runs/{id}/events", s.handleGetRunEvents)
+	s.route(mux, "POST /runs/{id}/cancel", s.handleCancelRun)
 	if s.opts.Worker {
-		mux.HandleFunc("POST "+shardPath, s.handleShard)
+		s.route(mux, "POST "+shardPath, s.handleShard)
 	}
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.route(mux, "GET /metrics", s.handleMetrics)
+	s.route(mux, "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "worker": fmt.Sprintf("%t", s.opts.Worker)})
 	})
+	if s.opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -178,6 +224,11 @@ type runView struct {
 	Progress   progressView     `json:"progress"`
 	Error      string           `json:"error,omitempty"`
 	Result     *scenario.Result `json:"result,omitempty"`
+	// Report is the cluster provenance report for runs dispatched across a
+	// worker fleet (Options.ClusterWorkers): per-shard durations and retry
+	// counts, per-worker throughput. Its embedded event journal is served
+	// by GET /runs/{id}/events instead of being duplicated here.
+	Report *cluster.Report `json:"report,omitempty"`
 }
 
 type progressView struct {
@@ -208,6 +259,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 
 	key := cacheKey(sc.Name, req.Spec)
 	ctx, cancel := context.WithCancel(context.Background())
+	s.metrics.runsCreated.Inc()
 	s.mu.Lock()
 	s.nextID++
 	rn := &run{
@@ -218,12 +270,16 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		created:  time.Now(),
 		finished: make(chan struct{}),
 		cancel:   cancel,
+		journal:  obs.NewJournal(),
 	}
+	rn.journal.Event("created", obs.Fields{"scenario": sc.Name, "spec": req.Spec.Key()})
 	s.runs[rn.id] = rn
 	s.order = append(s.order, rn.id)
 	s.pruneRuns()
 	res, hit := s.cache.get(key)
 	if hit {
+		s.metrics.cacheHits.Inc()
+		rn.journal.Event("cache_hit", nil)
 		s.finishCached(w, rn, res)
 		return
 	}
@@ -235,6 +291,8 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		// never stall behind I/O; two identical concurrent requests may
 		// both read the entry, which is a benign duplicate.
 		if stored, ok := s.opts.Store.GetResult(sc.Name, req.Spec); ok {
+			s.metrics.storeHits.Inc()
+			rn.journal.Event("store_hit", nil)
 			s.mu.Lock()
 			s.cache.put(key, stored)
 			s.storeHits++
@@ -268,6 +326,7 @@ func (s *Server) finishCached(w http.ResponseWriter, rn *run, res *scenario.Resu
 	close(rn.finished)
 	view := rn.view()
 	s.mu.Unlock()
+	s.metrics.runsFinished.With("done").Inc()
 	writeJSON(w, http.StatusOK, view)
 }
 
@@ -290,27 +349,52 @@ func (s *Server) execute(ctx context.Context, sc *scenario.Scenario, rn *run, ke
 	rn.status = "running"
 	s.computes++
 	s.mu.Unlock()
+	s.metrics.computes.Inc()
+	rn.journal.Event("running", nil)
+	s.log.Info("run started", "run", rn.id, "scenario", rn.scenario, "spec", rn.spec.Key())
 
 	var res *scenario.Result
 	var err error
-	for attempt := 0; attempt < 3; attempt++ {
-		res, err = scenario.Run(sc, rn.spec, scenario.RunOptions{
-			Rows:    s.rows,
-			Context: ctx,
-			Progress: func(done, total int) {
-				s.mu.Lock()
-				rn.done, rn.total = done, total
-				s.mu.Unlock()
-			},
-		})
-		// Two concurrent runs of the same spec share one single-flight
-		// RowCache compute, which runs under whichever context got there
-		// first. If THAT run was canceled, this one sees context.Canceled
-		// without its own client having asked for it — the failed entry
-		// has been dropped from the cache, so recompute under our own
-		// still-live context instead of reporting a spurious error.
-		if err == nil || ctx.Err() != nil || !errors.Is(err, context.Canceled) {
-			break
+	if len(s.opts.ClusterWorkers) > 0 && sc.Sweep.Shardable() {
+		// Cluster front end: dispatch the grid across the worker fleet.
+		// The coordinator journals into the run's journal, so the
+		// dispatch/retry/merge spans surface on GET /runs/{id}/events,
+		// and its provenance report is kept on the run.
+		var rep *cluster.Report
+		res, rep, err = cluster.New(cluster.Options{
+			Workers:   s.opts.ClusterWorkers,
+			ShardSize: s.opts.ClusterShardSize,
+			Store:     s.opts.Store,
+			Journal:   rn.journal,
+			Logger:    s.log,
+		}).Run(ctx, sc, rn.spec)
+		s.mu.Lock()
+		rn.report = rep
+		if res != nil {
+			rn.done, rn.total = res.Points, res.Points
+		}
+		s.mu.Unlock()
+	} else {
+		for attempt := 0; attempt < 3; attempt++ {
+			res, err = scenario.Run(sc, rn.spec, scenario.RunOptions{
+				Rows:    s.rows,
+				Context: ctx,
+				Journal: rn.journal,
+				Progress: func(done, total int) {
+					s.mu.Lock()
+					rn.done, rn.total = done, total
+					s.mu.Unlock()
+				},
+			})
+			// Two concurrent runs of the same spec share one single-flight
+			// RowCache compute, which runs under whichever context got there
+			// first. If THAT run was canceled, this one sees context.Canceled
+			// without its own client having asked for it — the failed entry
+			// has been dropped from the cache, so recompute under our own
+			// still-live context instead of reporting a spurious error.
+			if err == nil || ctx.Err() != nil || !errors.Is(err, context.Canceled) {
+				break
+			}
 		}
 	}
 
@@ -332,8 +416,17 @@ func (s *Server) execute(ctx context.Context, sc *scenario.Scenario, rn *run, ke
 		rn.done, rn.total = res.Points, res.Points
 		s.cache.put(key, res)
 	}
+	status := rn.status
 	close(rn.finished)
 	s.mu.Unlock()
+	s.metrics.runsFinished.With(status).Inc()
+	rn.journal.Event(status, nil)
+	switch status {
+	case "error":
+		s.log.Warn("run failed", "run", rn.id, "scenario", rn.scenario, "reason", err.Error())
+	default:
+		s.log.Info("run finished", "run", rn.id, "scenario", rn.scenario, "status", status)
+	}
 }
 
 // handleCancelRun stops an in-flight run between grid points. Cancelling
@@ -366,6 +459,36 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
 		return
 	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// eventsView is the GET /runs/{id}/events wire form: the run's journal so
+// far, ordered by sequence number. Polling an in-flight run streams the
+// journal incrementally — each poll returns every event appended so far.
+type eventsView struct {
+	ID       string      `json:"id"`
+	Scenario string      `json:"scenario"`
+	Status   string      `json:"status"`
+	Count    int         `json:"count"`
+	Events   []obs.Event `json:"events"`
+}
+
+func (s *Server) handleGetRunEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rn, ok := s.runs[r.PathValue("id")]
+	var view eventsView
+	if ok {
+		view = eventsView{ID: rn.id, Scenario: rn.scenario, Status: rn.status}
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	// The journal has its own lock; events are read outside s.mu so a
+	// large journal never stalls run polls.
+	view.Events = rn.journal.Events()
+	view.Count = len(view.Events)
 	writeJSON(w, http.StatusOK, view)
 }
 
@@ -405,7 +528,7 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 
 // view snapshots the run; the caller holds s.mu.
 func (rn *run) view() runView {
-	return runView{
+	v := runView{
 		ID:         rn.id,
 		Scenario:   rn.scenario,
 		Spec:       rn.spec,
@@ -416,6 +539,12 @@ func (rn *run) view() runView {
 		Error:      rn.errMsg,
 		Result:     rn.result,
 	}
+	if rn.report != nil {
+		rep := *rn.report
+		rep.Events = nil // the journal is GET /runs/{id}/events
+		v.Report = &rep
+	}
+	return v
 }
 
 func cacheKey(name string, spec scenario.Spec) string {

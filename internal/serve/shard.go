@@ -52,6 +52,8 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	s.metrics.shardRequests.Inc()
+
 	// A coordinator that gave up (or died) frees the slot immediately.
 	ctx := r.Context()
 	select {
@@ -82,6 +84,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "shard failed: %v", err)
 		return
 	}
+	s.metrics.shardPoints.Add(uint64(len(req.Indices)))
 	writeJSON(w, http.StatusOK, cluster.ShardResponse{
 		Rows:   rows,
 		Millis: float64(time.Since(start)) / float64(time.Millisecond),

@@ -3,10 +3,13 @@
 #
 # Runs the three simulator-speed benchmarks (BenchmarkSimulatorSpeed,
 # BenchmarkSteadyStatePipeline, BenchmarkSteadyStateSecure) and appends a
-# {date, commit, label, minst_per_s, allocs_per_op, ipc} record to
-# BENCH_sim.json at the repository root. The file is a JSON array ordered
-# oldest-first; every perf-relevant PR appends a pre/post pair so the
-# trajectory pins regressions to a commit.
+# {date, commit, label, minst_per_s, allocs_per_op, ipc, counters} record
+# to BENCH_sim.json at the repository root. The counters object is the
+# throughput-engine metric snapshot (sempe-attack -metrics: template cache,
+# core pool, superblocks, trials/s) from a fixed reference attack run, so
+# the trajectory records cache effectiveness alongside raw speed. The file
+# is a JSON array ordered oldest-first; every perf-relevant PR appends a
+# pre/post pair so the trajectory pins regressions to a commit.
 #
 # Usage: scripts/bench_record.sh [label]
 #   label   free-form tag for the entry (default: "manual")
@@ -33,6 +36,20 @@ if [ -z "$minst" ] || [ -z "$ipc" ]; then
     exit 1
 fi
 
+# Metric snapshot from a fixed reference attack run: the exposition's
+# unlabeled sempe_* samples become the entry's "counters" object.
+metrics_txt=$(mktemp)
+trap 'rm -f "$metrics_txt"' EXIT
+go run ./cmd/sempe-attack -attacker bp -arch baseline -trials 50 \
+    -metrics "$metrics_txt" >/dev/null
+counters=$(awk '!/^#/ && /^sempe_[a-z_]+ / {
+    printf "%s    \"%s\": %s", sep, $1, $2; sep = ",\n"
+} END { printf "\n" }' "$metrics_txt")
+if [ -z "$counters" ]; then
+    echo "bench_record: failed to snapshot sempe-attack -metrics" >&2
+    exit 1
+fi
+
 # Provenance: the commit is resolved at RUN time (not when the entry is
 # finally committed), and a dirty flag records whether the tree had
 # uncommitted changes — a "pre" entry recorded mid-PR is otherwise
@@ -54,7 +71,9 @@ entry=$(cat <<EOF
   "steady_ns_per_cycle": $pipeline_ns,
   "steady_secure_ns_per_cycle": $secure_ns,
   "allocs_per_op": $allocs,
-  "ipc": $ipc
+  "ipc": $ipc,
+  "counters": {
+$counters  }
 }
 EOF
 )
