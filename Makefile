@@ -23,6 +23,7 @@ test:
 bench-smoke:
 	$(GO) test -run=NONE -bench='SteadyState|MemAccess|SimulatorSpeed' -benchmem -benchtime=1000x
 	$(GO) test -run=NONE -bench='AttackTrials' -benchmem -benchtime=1x ./internal/attack
+	$(GO) test ./internal/experiments/ -run 'TestSteadyStateZeroAllocSpecDisarmed'
 
 # bench is the full benchmark suite (paper figures + ablations).
 bench:
@@ -55,13 +56,13 @@ smoke-cluster:
 
 # obs-smoke exercises the observability layer end to end: the metrics
 # registry and journal unit tests, the /metrics + /runs/{id}/events serve
-# tests (distributed spans included), the instrumentation-inertness
-# differential with its zero-alloc gate, then the cluster smoke's
-# live-fleet /metrics scrape.
+# tests (distributed spans included), the instrumentation-inertness and
+# spec-trace differentials with their zero-alloc gates, then the cluster
+# smoke's live-fleet /metrics scrape.
 obs-smoke:
 	$(GO) test ./internal/obs/
 	$(GO) test ./internal/serve/ -run 'TestMetrics|TestRunEvents|TestPprof|TestDistributedRunThroughServe'
-	$(GO) test ./internal/experiments/ -run 'TestObservabilityDifferential|TestSteadyStateZeroAllocWithMetrics'
+	$(GO) test ./internal/experiments/ -run 'TestObservabilityDifferential|TestSteadyStateZeroAllocWithMetrics|TestSpecTraceDifferential|TestSteadyStateZeroAllocSpecDisarmed'
 	./scripts/cluster_smoke.sh
 
 # smoke-attack runs the attack lab end to end: the baseline must leak the

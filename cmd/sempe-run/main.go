@@ -25,20 +25,23 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "quicksort", "fibonacci|ones|quicksort|queens|djpeg-ppm|djpeg-gif|djpeg-bmp")
-		arch     = flag.String("arch", "baseline", "baseline|sempe (which core runs the program)")
-		mode     = flag.String("compile", "", "plain|sempe|cte (default: match -arch)")
-		w        = flag.Int("w", 4, "secret branches per iteration (microbenchmarks)")
-		iters    = flag.Int("i", 8, "iterations of the secure region")
-		size     = flag.Int("n", 0, "kernel size parameter (0 = default)")
-		secret   = flag.Uint64("secret", 0, "secret input selecting branch paths")
-		blocks   = flag.Int("blocks", 32, "image blocks (djpeg workloads)")
-		sparsity = flag.Int("sparsity", 50, "busy-block percentage (djpeg workloads)")
-		seed     = flag.Uint64("seed", 11, "image content seed (djpeg workloads)")
-		asmFile  = flag.String("asm", "", "run an assembly file instead of a built-in workload")
-		disasm   = flag.Bool("disasm", false, "print the disassembly before running")
-		taint    = flag.Bool("taint", true, "run the secret-taint linter on DSL workloads")
-		collapse = flag.Bool("collapse", false, "apply the nesting-collapse optimization (paper §IV-E)")
+		workload  = flag.String("workload", "quicksort", "fibonacci|ones|quicksort|queens|djpeg-ppm|djpeg-gif|djpeg-bmp")
+		arch      = flag.String("arch", "baseline", "baseline|sempe (which core runs the program)")
+		mode      = flag.String("compile", "", "plain|sempe|cte (default: match -arch)")
+		w         = flag.Int("w", 4, "secret branches per iteration (microbenchmarks)")
+		iters     = flag.Int("i", 8, "iterations of the secure region")
+		size      = flag.Int("n", 0, "kernel size parameter (0 = default)")
+		secret    = flag.Uint64("secret", 0, "secret input selecting branch paths")
+		blocks    = flag.Int("blocks", 32, "image blocks (djpeg workloads)")
+		sparsity  = flag.Int("sparsity", 50, "busy-block percentage (djpeg workloads)")
+		seed      = flag.Uint64("seed", 11, "image content seed (djpeg workloads)")
+		asmFile   = flag.String("asm", "", "run an assembly file instead of a built-in workload")
+		disasm    = flag.Bool("disasm", false, "print the disassembly before running")
+		taint     = flag.Bool("taint", true, "run the secret-taint linter on DSL workloads")
+		collapse  = flag.Bool("collapse", false, "apply the nesting-collapse optimization (paper §IV-E)")
+		trace     = flag.Bool("trace", false, "record the speculative-window event stream and print the timeline")
+		traceJSON = flag.String("trace-json", "", "write the spec trace as Chrome trace_event JSON to FILE")
+		traceCap  = flag.Int("trace-cap", 1<<20, "spec-trace ring capacity (events; oldest dropped beyond this)")
 	)
 	flag.Parse()
 
@@ -131,10 +134,36 @@ func main() {
 		len(prog.Code), sjmp, eos, cmode, *arch)
 
 	core := pipeline.New(cfg, prog)
+	var tr *pipeline.Tracer
+	if *trace || *traceJSON != "" {
+		tr = pipeline.NewTracer(*traceCap)
+		core.SetSpecWatch(tr.Record)
+	}
 	if err := core.Run(); err != nil {
 		fatal("run: %v", err)
 	}
 	printStats(core)
+	if tr != nil {
+		if *trace {
+			fmt.Println()
+			if err := tr.WriteText(os.Stdout); err != nil {
+				fatal("trace: %v", err)
+			}
+		}
+		if *traceJSON != "" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fatal("trace-json: %v", err)
+			}
+			if err := tr.WriteChromeJSON(f); err != nil {
+				fatal("trace-json: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatal("trace-json: %v", err)
+			}
+			fmt.Printf("spec trace: %d events (%d dropped) -> %s\n", tr.Total(), tr.Dropped(), *traceJSON)
+		}
+	}
 }
 
 func parseKind(s string) (workloads.Kind, bool) {
@@ -157,6 +186,10 @@ func printStats(core *pipeline.Core) {
 	t.AddRow("sJMP committed", stats.Int(s.SJmps))
 	t.AddRow("eosJMP committed", stats.Int(s.EOSJmps))
 	t.AddRow("secure jump-backs", stats.Int(s.SecRedirects))
+	t.AddRow("wrong-path fetches", stats.Int(s.WrongPathFetches))
+	t.AddRow("squashed uops", stats.Int(s.SquashedUops))
+	t.AddRow("flushes (mispredict/secure/overflow)",
+		fmt.Sprintf("%d/%d/%d", s.FlushMispredicts, s.FlushSecRedirects, s.FlushOverflows))
 	t.AddRow("max secure nesting", fmt.Sprintf("%d", s.MaxNestDepth))
 	t.AddRow("drain stall cycles", stats.Int(s.DrainStallCycles))
 	t.AddRow("SPM stall cycles", stats.Int(s.SPMStallCycles))

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 func init() {
@@ -52,4 +53,30 @@ func init() {
 		"Cumulative wall-clock seconds spent inside trial batches; "+
 			"sempe_attack_trials_total divided by this is trials/s.",
 		func() float64 { return float64(perfCounters.trialNS.Load()) / 1e9 })
+
+	// Speculative-window families: process-wide wrong-path accounting
+	// published by every completed Run (pipeline.GlobalSpecCounters). Like the
+	// families above, these are scrape-time reads of existing atomics; the
+	// underlying Stats counters are always on, armed tracer or not.
+	spec := func(pick func(pipeline.SpecCounters) uint64) func() float64 {
+		return func() float64 { return float64(pick(pipeline.GlobalSpecCounters())) }
+	}
+	reg.CounterFunc("sempe_spec_wrong_path_fetches_total",
+		"Fetched micro-ops discarded without committing, across all runs.",
+		spec(func(c pipeline.SpecCounters) uint64 { return c.WrongPathFetches }))
+	reg.CounterFunc("sempe_spec_squashed_uops_total",
+		"Renamed in-flight micro-ops squashed by pipeline flushes.",
+		spec(func(c pipeline.SpecCounters) uint64 { return c.SquashedUops }))
+	reg.CounterFunc("sempe_spec_flushes_mispredict_total",
+		"Pipeline flushes caused by branch or indirect-target mispredictions.",
+		spec(func(c pipeline.SpecCounters) uint64 { return c.FlushMispredicts }))
+	reg.CounterFunc("sempe_spec_flushes_secure_redirect_total",
+		"Front-end redirects from SeMPE eosJMP commit-time jump-backs.",
+		spec(func(c pipeline.SpecCounters) uint64 { return c.FlushSecRedirects }))
+	reg.CounterFunc("sempe_spec_flushes_overflow_total",
+		"Pipeline flushes from nesting-overflow-downgraded secure branches.",
+		spec(func(c pipeline.SpecCounters) uint64 { return c.FlushOverflows }))
+	reg.CounterFunc("sempe_spec_events_total",
+		"SpecEvents delivered to armed speculative-window watches.",
+		spec(func(c pipeline.SpecCounters) uint64 { return c.SpecEvents }))
 }

@@ -9,6 +9,23 @@ type Unit struct {
 	ITTAGE *ITTAGE
 	ras    []uint64
 	rasTop int // number of live entries
+
+	// Lookups counts consultations of the prediction structures. Lookup
+	// counts accumulate at fetch time and therefore include wrong-path
+	// activity (a mispredicted path keeps predicting until the flush);
+	// Updates accumulate at commit and count only architectural training.
+	// The spec-window observability layer (internal/pipeline/spec.go)
+	// surfaces the difference. Pure accounting: never part of Digest.
+	Lookups LookupStats
+}
+
+// LookupStats is the predictor-consultation accounting on a Unit.
+type LookupStats struct {
+	Branch   uint64 // conditional-direction predictions (TAGE)
+	Indirect uint64 // indirect-target predictions (ITTAGE)
+	RASPush  uint64 // return-address pushes at fetch
+	RASPop   uint64 // return-address pops at fetch
+	Updates  uint64 // commit-time trainings (direction + indirect)
 }
 
 // RASDepth is the return-address-stack capacity.
@@ -24,19 +41,32 @@ func NewUnit() *Unit {
 }
 
 // PredictBranch returns the predicted direction for a conditional branch.
-func (u *Unit) PredictBranch(pc uint64) bool { return u.TAGE.Predict(pc) }
+func (u *Unit) PredictBranch(pc uint64) bool {
+	u.Lookups.Branch++
+	return u.TAGE.Predict(pc)
+}
 
 // UpdateBranch trains the direction predictor at commit.
-func (u *Unit) UpdateBranch(pc uint64, taken bool) { u.TAGE.Update(pc, taken) }
+func (u *Unit) UpdateBranch(pc uint64, taken bool) {
+	u.Lookups.Updates++
+	u.TAGE.Update(pc, taken)
+}
 
 // PredictIndirect returns a predicted target for a JALR at pc.
-func (u *Unit) PredictIndirect(pc uint64) (uint64, bool) { return u.ITTAGE.Predict(pc) }
+func (u *Unit) PredictIndirect(pc uint64) (uint64, bool) {
+	u.Lookups.Indirect++
+	return u.ITTAGE.Predict(pc)
+}
 
 // UpdateIndirect trains the target predictor at commit.
-func (u *Unit) UpdateIndirect(pc, target uint64) { u.ITTAGE.Update(pc, target) }
+func (u *Unit) UpdateIndirect(pc, target uint64) {
+	u.Lookups.Updates++
+	u.ITTAGE.Update(pc, target)
+}
 
 // PushReturn records a return address at fetch time (JAL/JALR that links).
 func (u *Unit) PushReturn(addr uint64) {
+	u.Lookups.RASPush++
 	if u.rasTop < len(u.ras) {
 		u.ras[u.rasTop] = addr
 		u.rasTop++
@@ -50,6 +80,7 @@ func (u *Unit) PushReturn(addr uint64) {
 // PopReturn predicts the target of a return (JALR through the link
 // register), or reports no prediction when the stack is empty.
 func (u *Unit) PopReturn() (uint64, bool) {
+	u.Lookups.RASPop++
 	if u.rasTop == 0 {
 		return 0, false
 	}
@@ -65,6 +96,7 @@ func (u *Unit) Reset() {
 	u.TAGE.Reset()
 	u.ITTAGE.Reset()
 	u.rasTop = 0
+	u.Lookups = LookupStats{}
 }
 
 // Digest fingerprints every predictor structure. Under SeMPE the digest

@@ -83,6 +83,15 @@ type Cache struct {
 	memoLine uint64
 	memoIdx  int32 // flat tags[] index of the memoized line, -1 = none
 
+	// FillWatch, when non-nil, observes every line installation (demand miss
+	// or prefetch): line is the installed line's address, victim the evicted
+	// line's address when evicted is true. It is a pure observer — fills are
+	// reported after all replacement state is updated — and costs one nil
+	// check per fill when disarmed. The pipeline's spec watch (see
+	// internal/pipeline/spec.go) uses it to surface wrong-path cache fills;
+	// Reset leaves it armed, like the prefetcher observer.
+	FillWatch func(line, victim uint64, evicted bool)
+
 	Stats Stats
 }
 
@@ -259,12 +268,15 @@ func (c *Cache) fill(set int, tag uint64, write bool) {
 			victim = i
 		}
 	}
-	if c.valid[victim] {
+	evicted := c.valid[victim]
+	var victimLine uint64
+	if evicted {
 		c.Stats.Evictions++
+		victimLine = c.victimAddr(set, c.tags[victim])
 		// Write-back traffic is accounted in the next level's access count
 		// only for dirty lines; latency is hidden by the write buffer.
 		if c.dirty[victim] {
-			c.next.Access(c.victimAddr(set, c.tags[victim]), true)
+			c.next.Access(victimLine, true)
 		}
 	}
 	c.clock++
@@ -272,6 +284,9 @@ func (c *Cache) fill(set int, tag uint64, write bool) {
 	c.tags[victim] = tag
 	c.dirty[victim] = write
 	c.lruAge[victim] = c.clock
+	if c.FillWatch != nil {
+		c.FillWatch(c.victimAddr(set, tag), victimLine, evicted)
+	}
 }
 
 func (c *Cache) victimAddr(set int, tag uint64) uint64 {

@@ -96,10 +96,13 @@ func ObservePooled(cfg pipeline.Config, prog *isa.Program) (Observation, error) 
 	}
 	o := observationOf(core)
 	// Reset preserves caller-armed hooks by design; strip them (and trace
-	// capture) before the core becomes visible to unrelated callers.
+	// capture) before the core becomes visible to unrelated callers. A
+	// caller-armed spec watch is likewise stripped — the next Reset re-arms
+	// the process default, if one is set.
 	core.MemWatch = nil
 	core.BranchWatch = nil
 	core.TraceCommits = false
+	core.SetSpecWatch(nil)
 	pool.Put(core)
 	return o, nil
 }

@@ -158,6 +158,11 @@ func (c *Core) execute(i uref, u *uop) {
 	b := c.srcVal(u.ps2)
 	old := c.srcVal(u.ps3)
 
+	spec := c.specWatch != nil && specWatched(u)
+	if spec {
+		c.emitSpec(SpecEvent{Kind: SpecIssue, Seq: u.seq, PC: u.pc})
+	}
+
 	switch u.cl {
 	case isa.ClassBranch:
 		u.actualTaken = isa.BranchTaken(in.Op, a, b)
@@ -180,6 +185,10 @@ func (c *Core) execute(i uref, u *uop) {
 			}
 			u.mispredict = u.actualTarget != predPC
 		}
+		if spec {
+			c.emitSpec(SpecEvent{Kind: SpecBranchExec, Seq: u.seq, PC: u.pc, Addr: u.actualTarget,
+				Taken: u.actualTaken, Mispredict: u.mispredict})
+		}
 		u.doneCycle = c.cycle + uint64(c.cfg.LatBranch)
 	case isa.ClassJump:
 		switch in.Op {
@@ -194,16 +203,30 @@ func (c *Core) execute(i uref, u *uop) {
 		}
 		u.actualTaken = true
 		u.mispredict = u.actualTarget != u.predTarget
+		if spec {
+			c.emitSpec(SpecEvent{Kind: SpecBranchExec, Seq: u.seq, PC: u.pc, Addr: u.actualTarget,
+				Taken: true, Mispredict: u.mispredict})
+		}
 		u.doneCycle = c.cycle + uint64(c.cfg.LatBranch)
 	case isa.ClassLoad:
 		u.memAddr = isa.MemAddr(in, a)
+		if spec {
+			// Attribute DL1/L2 fills (and triggered prefetches) to this load.
+			c.specPC, c.specSeq = u.pc, u.seq
+		}
 		lat, forwarded, val := c.loadAccess(u)
 		u.result = val
 		_ = forwarded
+		if spec {
+			c.emitSpec(SpecEvent{Kind: SpecMemExec, Seq: u.seq, PC: u.pc, Addr: u.memAddr, Lat: uint16(lat)})
+		}
 		u.doneCycle = c.cycle + uint64(c.cfg.LatAGU+lat)
 	case isa.ClassStore:
 		u.memAddr = isa.MemAddr(in, a)
 		u.storeData = old // ps3 carries the data register
+		if spec {
+			c.emitSpec(SpecEvent{Kind: SpecMemExec, Seq: u.seq, PC: u.pc, Addr: u.memAddr, Write: true})
+		}
 		u.doneCycle = c.cycle + uint64(c.cfg.LatAGU)
 	case isa.ClassMul:
 		u.result, _ = isa.EvalALU(in, a, b, old)
@@ -373,7 +396,7 @@ func (c *Core) writeback() {
 		u.completed = true
 		if u.mispredict {
 			c.Stats.BranchMispredicts++
-			c.flushAfter(u, u.actualTarget)
+			c.flushAfter(u, u.actualTarget, FlushMispredict)
 			// Younger due ops now carry the squashed mark and are reclaimed
 			// by the check above as this loop reaches them.
 		}

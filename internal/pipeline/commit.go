@@ -46,6 +46,10 @@ func (c *Core) retire() error {
 			} else {
 				c.mem.Write8(u.memAddr, byte(u.storeData))
 			}
+			if c.specWatch != nil {
+				// Attribute commit-time DL1 fills to the retiring store.
+				c.specPC, c.specSeq = u.pc, u.seq
+			}
 			c.Hier.DL1.AccessPC(u.pc, u.memAddr, true)
 			c.memDigest = fnvMix(c.memDigest, u.memAddr<<1|1)
 			if c.TraceCommits {
@@ -75,6 +79,10 @@ func (c *Core) retire() error {
 		case u.cl == isa.ClassBranch:
 			c.Stats.Branches++
 			c.BP.UpdateBranch(u.pc, u.actualTaken)
+			if c.specWatch != nil {
+				c.emitSpec(SpecEvent{Kind: SpecBPUpdate, Seq: u.seq, PC: u.pc, Addr: u.actualTarget,
+					Disp: DispCommitted, Taken: u.actualTaken, Mispredict: u.mispredict})
+			}
 			if c.BranchWatch != nil {
 				c.BranchWatch(u.pc, u.actualTaken, u.mispredict, c.cycle)
 			}
@@ -82,6 +90,10 @@ func (c *Core) retire() error {
 			c.Stats.IndirectJumps++
 			if !(u.inst.Rd == isa.RZ && u.inst.Ra == isa.LR) {
 				c.BP.UpdateIndirect(u.pc, u.actualTarget)
+				if c.specWatch != nil {
+					c.emitSpec(SpecEvent{Kind: SpecBPUpdate, Seq: u.seq, PC: u.pc, Addr: u.actualTarget,
+						Disp: DispCommitted, Taken: true, Mispredict: u.mispredict})
+				}
 			}
 		}
 
@@ -95,6 +107,12 @@ func (c *Core) retire() error {
 		c.robCount--
 		c.Stats.Insts++
 		c.lastCommitCycle = c.cycle
+		if c.specWatch != nil && specWatched(u) {
+			// Settles the disposition of every earlier event with this seq;
+			// emitted before any controller redirect so a recorded stream
+			// resolves the op before the flush it may trigger.
+			c.emitSpec(SpecEvent{Kind: SpecCommit, Seq: u.seq, PC: u.pc, Disp: DispCommitted})
+		}
 
 		switch {
 		case u.isSJmp:
@@ -136,7 +154,7 @@ func (c *Core) commitSJmp(u *uop) error {
 		c.Stats.NestOverflows++
 		c.ovfDepth++
 		if u.actualTaken {
-			c.flushAfter(u, u.actualTarget)
+			c.flushAfter(u, u.actualTarget, FlushOverflow)
 		}
 		return nil
 	}
@@ -177,8 +195,16 @@ func (c *Core) commitEOSJmp(u *uop) error {
 		c.applyRegs(&restore, mask)
 		top.JB = true
 		c.Stats.SecRedirects++
+		c.Stats.FlushSecRedirects++
 		c.renameBlocked = false
-		c.redirectFrontEnd(top.Target)
+		// The drain guarantees an empty window, so a secure redirect only
+		// drops never-renamed front-end work — it squashes nothing in the ROB.
+		dropped := c.redirectFrontEnd(top.Target)
+		c.Stats.WrongPathFetches += dropped
+		if c.specWatch != nil {
+			c.emitSpec(SpecEvent{Kind: SpecFlush, Seq: u.seq, PC: u.pc, Addr: top.Target,
+				Cause: FlushSecureRedirect, DroppedFE: uint32(dropped)})
+		}
 		c.renameStallUntil = c.cycle + uint64(stall)
 		return nil
 	}

@@ -161,6 +161,16 @@ type Stats struct {
 
 	FetchStallCycles uint64 // front-end stalled on IL1 misses or redirects
 	LoadForwards     uint64 // store-to-load forwards
+
+	// Wrong-path accounting (always on; see spec.go). Invariants pinned by
+	// tests: FlushMispredicts+FlushOverflows == Flushes, and
+	// FlushSecRedirects == SecRedirects. Artifact rows never serialize these
+	// (they pick individual fields), so adding them cannot move golden JSON.
+	WrongPathFetches  uint64 // fetched micro-ops discarded without committing
+	SquashedUops      uint64 // renamed in-flight micro-ops squashed by flushes
+	FlushMispredicts  uint64 // flushAfter calls caused by mispredictions
+	FlushSecRedirects uint64 // eosJMP commit-time jump-back redirects
+	FlushOverflows    uint64 // overflow-downgraded sJMPs that redirected
 }
 
 // CPI returns cycles per committed instruction.

@@ -156,6 +156,20 @@ type Core struct {
 	MemWatch    func(addr uint64, write bool, cycle uint64)
 	BranchWatch func(pc uint64, taken, mispredicted bool, cycle uint64)
 
+	// Speculative-window observability (spec.go). specWatch, when armed,
+	// receives execute-time SpecEvents for all in-flight work — wrong-path
+	// included — and forces fetch onto the legacy walk (the emission points
+	// live there). specFromDefault records that the hook came from the
+	// process default so Reset can re-read it; an explicitly armed hook is
+	// caller-owned and preserved like MemWatch. specPC/specSeq stamp the
+	// access context cache-fill events are attributed to; specEmitted and
+	// specPub feed the process-wide counters (publishSpecCounters).
+	specWatch       func(SpecEvent)
+	specFromDefault bool
+	specPC, specSeq uint64
+	specEmitted     uint64
+	specPub         SpecCounters
+
 	lastCommitCycle uint64
 
 	Stats Stats
@@ -264,6 +278,7 @@ func NewOnMemory(cfg Config, prog *isa.Program, memory *mem.Memory) *Core {
 	}
 	c.commitDigest = fnvOffset
 	c.memDigest = fnvOffset
+	c.armSpecDefault()
 	return c
 }
 
@@ -291,6 +306,7 @@ func (c *Core) MemDigest() uint64 { return c.memDigest }
 // exhaustion, deadlock, or a SeMPE protocol violation (e.g. jbTable
 // overflow).
 func (c *Core) Run() error {
+	defer c.publishSpecCounters()
 	for !c.halted {
 		if err := c.StepCycle(); err != nil {
 			return err

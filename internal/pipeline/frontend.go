@@ -99,7 +99,11 @@ func (c *Core) fetch() {
 		c.Stats.FetchStallCycles++
 		return
 	}
-	if c.sbOff {
+	if c.sbOff || c.specWatch != nil {
+		// A live spec watch diverts to the legacy walk: the per-fetch
+		// emission points live there, and the superblock replay path is
+		// cycle-identical by construction (the differential suite pins it),
+		// so the diversion observes without perturbing.
 		c.fetchLegacy()
 		return
 	}
@@ -125,6 +129,11 @@ func (c *Core) fetchLegacy() {
 			return
 		}
 		size := int(d.size)
+		if c.specWatch != nil {
+			// Attribute IL1 fills (and any prefetches they trigger) to this
+			// fetch. c.seq is the sequence number the micro-op is about to get.
+			c.specPC, c.specSeq = pc, c.seq
+		}
 		// Charge IL1 for each distinct line the instruction bytes touch.
 		for a := pc &^ (cache.LineSize - 1); a < pc+uint64(size); a += cache.LineSize {
 			if a == lastLine {
@@ -155,6 +164,9 @@ func (c *Core) fetchLegacy() {
 		c.SBStats.LegacyOps++
 
 		redirected := c.predecode(u)
+		if c.specWatch != nil && specWatched(u) {
+			c.emitSpec(SpecEvent{Kind: SpecFetch, Seq: u.seq, PC: u.pc, Addr: u.predTarget, Taken: u.predTaken})
+		}
 		c.fe.pushFetched(i)
 		if u.inst.Op == isa.OpHalt {
 			c.fetchHalted = true
@@ -192,6 +204,9 @@ func (c *Core) predecode(u *uop) bool {
 	case in.Op.IsBranch():
 		u.predTaken = c.BP.PredictBranch(u.pc)
 		u.predTarget = u.pc + uint64(in.Imm)
+		if c.specWatch != nil {
+			c.emitSpec(SpecEvent{Kind: SpecBPLookup, Seq: u.seq, PC: u.pc, Addr: u.predTarget, Taken: u.predTaken})
+		}
 		if u.predTaken {
 			c.fetchPC = u.predTarget
 			return true
@@ -229,6 +244,9 @@ func (c *Core) predecode(u *uop) bool {
 			if in.Rd == isa.LR {
 				c.BP.PushReturn(u.npc)
 			}
+		}
+		if c.specWatch != nil {
+			c.emitSpec(SpecEvent{Kind: SpecBPLookup, Seq: u.seq, PC: u.pc, Addr: u.predTarget, Taken: true})
 		}
 		c.fetchPC = u.predTarget
 		return true
@@ -381,8 +399,17 @@ func (c *Core) renameOne(i uref, u *uop) {
 // in flight in the completion calendar; those stay marked squashed and
 // writeback recycles them when their bucket drains (recycling here would
 // let the slot be reused while the calendar still references it).
-func (c *Core) flushAfter(u *uop, target uint64) {
+// cause tags the flush for the wrong-path accounting (Stats.FlushMispredicts
+// vs FlushOverflows — secure redirects never come through here, they flush
+// only the never-renamed front end via redirectFrontEnd at commitEOSJmp).
+func (c *Core) flushAfter(u *uop, target uint64, cause FlushCause) {
 	c.Stats.Flushes++
+	switch cause {
+	case FlushMispredict:
+		c.Stats.FlushMispredicts++
+	case FlushOverflow:
+		c.Stats.FlushOverflows++
+	}
 	// Walk the ROB backwards, undoing rename state.
 	c.squashTmp = c.squashTmp[:0]
 	for c.robCount > 0 {
@@ -431,16 +458,26 @@ func (c *Core) flushAfter(u *uop, target uint64) {
 			c.pool.put(yi)
 		}
 	}
-	c.redirectFrontEnd(target)
+	nsq := uint64(len(c.squashTmp))
+	dropped := c.redirectFrontEnd(target)
+	c.Stats.SquashedUops += nsq
+	c.Stats.WrongPathFetches += nsq + dropped
+	if c.specWatch != nil {
+		c.emitSpec(SpecEvent{Kind: SpecFlush, Seq: u.seq, PC: u.pc, Addr: target, Cause: cause,
+			SquashedROB: uint32(nsq), DroppedFE: uint32(dropped)})
+	}
 }
 
 // redirectFrontEnd clears all fetched-but-not-renamed state and restarts
-// fetch at target after the redirect penalty. Drained micro-ops were never
+// fetch at target after the redirect penalty, returning how many fetched
+// micro-ops it dropped (wrong-path accounting). Drained micro-ops were never
 // renamed, so the front-end buffers hold their only references and they can
 // be recycled directly.
-func (c *Core) redirectFrontEnd(target uint64) {
+func (c *Core) redirectFrontEnd(target uint64) uint64 {
+	var dropped uint64
 	for !c.fe.empty() {
 		c.pool.put(c.fe.popAny())
+		dropped++
 	}
 	c.fetchPC = target
 	c.fetchHalted = false
@@ -452,6 +489,7 @@ func (c *Core) redirectFrontEnd(target uint64) {
 		c.sbCur = -1
 		c.SBStats.Invalidate++
 	}
+	return dropped
 }
 
 func (c *Core) filterSquashed(q []uref) []uref {

@@ -119,6 +119,18 @@ func (c *Core) Reset(prog *isa.Program) {
 	c.MemTrace = c.MemTrace[:0]
 	c.lastCommitCycle = 0
 	c.Stats = Stats{}
+
+	// Spec-watch state. A caller-armed hook is preserved like MemWatch; a
+	// hook picked up from the process default (or no hook at all) re-reads
+	// the default, matching what New would capture right now. The published
+	// counter snapshot re-bases with the Stats wipe; harvest the global
+	// counters before Reset when accumulating across runs.
+	if c.specFromDefault || c.specWatch == nil {
+		c.armSpecDefault()
+	}
+	c.specPC, c.specSeq = 0, 0
+	c.specEmitted = 0
+	c.specPub = SpecCounters{}
 }
 
 // resizeCleared returns s resized to n elements, all zero, reusing the

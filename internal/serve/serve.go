@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/scenario"
 	"repro/internal/store"
 )
@@ -353,6 +354,14 @@ func (s *Server) execute(ctx context.Context, sc *scenario.Scenario, rn *run, ke
 	rn.journal.Event("running", nil)
 	s.log.Info("run started", "run", rn.id, "scenario", rn.scenario, "spec", rn.spec.Key())
 
+	// Speculative-window accounting snapshot: the delta across this run's
+	// compute is journaled as a spec_summary event. The counters are
+	// process-wide, so on a server computing runs concurrently the delta can
+	// include overlapping runs' work — it is a profile of the machine while
+	// this run computed, not an exact attribution; cluster-sharded runs
+	// simulate on the workers, so their local delta is near zero by design.
+	specBefore := pipeline.GlobalSpecCounters()
+
 	var res *scenario.Result
 	var err error
 	if len(s.opts.ClusterWorkers) > 0 && sc.Sweep.Shardable() {
@@ -420,6 +429,14 @@ func (s *Server) execute(ctx context.Context, sc *scenario.Scenario, rn *run, ke
 	close(rn.finished)
 	s.mu.Unlock()
 	s.metrics.runsFinished.With(status).Inc()
+	specAfter := pipeline.GlobalSpecCounters()
+	rn.journal.Event("spec_summary", obs.Fields{
+		"wrong_path_fetches":      specAfter.WrongPathFetches - specBefore.WrongPathFetches,
+		"squashed_uops":           specAfter.SquashedUops - specBefore.SquashedUops,
+		"flushes_mispredict":      specAfter.FlushMispredicts - specBefore.FlushMispredicts,
+		"flushes_secure_redirect": specAfter.FlushSecRedirects - specBefore.FlushSecRedirects,
+		"flushes_overflow":        specAfter.FlushOverflows - specBefore.FlushOverflows,
+	})
 	rn.journal.Event(status, nil)
 	switch status {
 	case "error":
