@@ -20,10 +20,15 @@ test:
 # steady-state pipeline loop is allocation-free, in seconds. The attack-trial
 # benchmark runs one iteration per config; its allocation gate is the
 # TestTrialLoopZeroAlloc test (a 1x bench can't see the steady state).
+# The wrong-path replay gates pin the speculative-fetch fast path: prototype
+# clones cycle-identical to New, 0 allocs/op with replay enabled, and every
+# scenario bit-identical with replay force-disabled.
 bench-smoke:
 	$(GO) test -run=NONE -bench='SteadyState|MemAccess|SimulatorSpeed' -benchmem -benchtime=1000x
 	$(GO) test -run=NONE -bench='AttackTrials' -benchmem -benchtime=1x ./internal/attack
 	$(GO) test ./internal/experiments/ -run 'TestSteadyStateZeroAllocSpecDisarmed'
+	$(GO) test ./internal/pipeline/ -run 'TestPrototypeMatchesNew|TestWrongPathReplayZeroAlloc'
+	$(GO) test ./internal/experiments/ -run 'TestWrongPathReplayDifferential'
 
 # bench is the full benchmark suite (paper figures + ablations).
 bench:

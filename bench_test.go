@@ -274,21 +274,26 @@ func BenchmarkAblationCollapse(b *testing.B) {
 
 // BenchmarkSimulatorSpeed measures raw simulation throughput (simulated
 // instructions per wall second) — an infrastructure number, not a paper
-// result.
+// result. Cores come from a warm prototype (pooled Reset, shared
+// pre-decode table), so the number measures simulation, not construction;
+// TestPrototypeMatchesNew pins the pooled run cycle-identical to a fresh
+// one.
 func BenchmarkSimulatorSpeed(b *testing.B) {
 	spec := workloads.HarnessSpec{Kind: workloads.Quicksort, W: 2, I: 4}
 	out, err := compile.Compile(workloads.Harness(spec), compile.Plain)
 	if err != nil {
 		b.Fatal(err)
 	}
+	proto := pipeline.NewPrototype(pipeline.DefaultConfig(), out.Prog)
 	var insts uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core := pipeline.New(pipeline.DefaultConfig(), out.Prog)
+		core := pipeline.NewFromPrototype(proto)
 		if err := core.Run(); err != nil {
 			b.Fatal(err)
 		}
 		insts += core.Stats.Insts
+		proto.Recycle(core)
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
 }

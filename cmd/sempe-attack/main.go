@@ -245,6 +245,8 @@ func printPerf(sbstats bool) {
 	fmt.Printf("perf: core pool %d built / %d reset\n", p.CoreBuilds, p.CoreResets)
 	fmt.Printf("perf: superblocks %d built, %d replayed ops, %d legacy ops\n",
 		p.SBBuilds, p.SBReplays, p.SBLegacyOps)
+	fmt.Printf("perf: wrong path %d builds, %d replayed ops squashed\n",
+		p.SBWrongPathBuilds, p.SBWrongPathReplays)
 	if p.TrialSeconds > 0 {
 		fmt.Printf("perf: %d trials in %.3fs (%.0f trials/s)\n",
 			p.Trials, p.TrialSeconds, float64(p.Trials)/p.TrialSeconds)

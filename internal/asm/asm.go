@@ -56,6 +56,12 @@ type Builder struct {
 	dataNext uint64
 	genLabel int
 	err      error
+
+	// immSlots maps a template patch-slot name to the indices of the
+	// instructions carrying it (see MarkImmSlot); immSlotOffs is the same
+	// map resolved to code byte offsets by Finish.
+	immSlots    map[string][]int
+	immSlotOffs map[string][]int
 }
 
 // NewBuilder returns an empty Builder with the default memory layout.
@@ -94,6 +100,26 @@ func (b *Builder) FreshLabel(prefix string) string {
 	b.genLabel++
 	return fmt.Sprintf(".%s_%d", prefix, b.genLabel)
 }
+
+// MarkImmSlot tags the most recently emitted instruction as carrying the
+// immediate of the named template patch slot. The instruction's code byte
+// offset is resolved in Finish and published via ImmSlotOffsets; a name may
+// be marked at several instructions.
+func (b *Builder) MarkImmSlot(name string) {
+	if len(b.insts) == 0 {
+		b.fail("MarkImmSlot(%q) before any instruction", name)
+		return
+	}
+	if b.immSlots == nil {
+		b.immSlots = make(map[string][]int)
+	}
+	b.immSlots[name] = append(b.immSlots[name], len(b.insts)-1)
+}
+
+// ImmSlotOffsets returns the code byte offset (relative to the code base) of
+// the start of every instruction marked with MarkImmSlot, keyed by slot
+// name. Valid only after Finish; nil when nothing was marked.
+func (b *Builder) ImmSlotOffsets() map[string][]int { return b.immSlotOffs }
 
 // Emit appends a fully-resolved instruction.
 func (b *Builder) Emit(in isa.Inst) {
@@ -163,6 +189,17 @@ func (b *Builder) Finish() (*isa.Program, error) {
 		off += in.EncodedLen()
 	}
 	offsets[len(b.insts)] = off
+
+	if len(b.immSlots) > 0 {
+		b.immSlotOffs = make(map[string][]int, len(b.immSlots))
+		for name, idxs := range b.immSlots {
+			offs := make([]int, len(idxs))
+			for i, idx := range idxs {
+				offs[i] = offsets[idx]
+			}
+			b.immSlotOffs[name] = offs
+		}
+	}
 
 	base := isa.DefaultCodeBase
 	syms := make(map[string]uint64, len(b.symbols)+len(b.codeSyms))

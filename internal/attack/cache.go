@@ -15,6 +15,25 @@ const (
 	cacheRegionElems = cacheRegionLines * 8 // 8 words per 64-byte line
 )
 
+// cacheIdxNames are the named template patch slots carrying the probed-set
+// element offsets: plaR/plbR is the draw's set-A/set-B element offset in
+// region R. Keeping the offsets in patch slots (rewritten per trial by the
+// runner) instead of plain literals makes the program shape draw-independent,
+// so every prime+probe trial of a batch shares one compiled template — while
+// the emitted code stays byte-for-byte what the plain-literal program
+// produced, since a slotted literal lowers to the same load-immediate.
+var cacheIdxNames = [...]string{"pla0", "pla1", "pla2", "plb0", "plb1", "plb2"}
+
+// cacheIdxVals returns the values for cacheIdxNames given a draw's probed
+// lines, in matching order.
+func cacheIdxVals(la, lb int) [6]int64 {
+	la8, lb8 := int64(8*la), int64(8*lb)
+	return [6]int64{
+		la8, cacheRegionElems + la8, 2*cacheRegionElems + la8,
+		lb8, cacheRegionElems + lb8, 2*cacheRegionElems + lb8,
+	}
+}
+
 // cacheProgram builds the prime+probe trial around a victim fragment's
 // secret-selected load.
 //
@@ -39,30 +58,38 @@ const (
 // victim's load and the probe — their loads fall in the probed-set pool,
 // so an unlucky (and uncalibratable) gap load can evict a primed line and
 // corrupt the probe; see gapLoop.
+//
+// The probed element offsets (8*la and 8*lb plus their region bases) are
+// named patch slots (lang.NS, cacheIdxNames), so the program's SHAPE is
+// independent of the probed-set draw: every prime+probe trial of a batch
+// patches the same compile.Template instead of recompiling per (la, lb)
+// pair. The slot names only mark the load-immediates for patching — the
+// compiled trial is byte-identical to the plain-literal program.
 func cacheProgram(frag victim.Fragment, d draw, gapSeed int64, gap int) *lang.Program {
-	la8, lb8 := int64(8*d.la), int64(8*d.lb)
+	idx := cacheIdxVals(d.la, d.lb)
+	slot := func(i int) lang.Expr { return lang.NS(cacheIdxNames[i], idx[i]) }
 	// dep adds a dummy dependency on the accumulator so the out-of-order
 	// backend cannot reorder the prime/victim/probe protocol: each access
 	// address waits for the previous access's value.
-	dep := func(idx int64, on string) lang.Expr {
-		return lang.B(lang.Add, lang.N(idx), lang.B(lang.And, lang.V(on), lang.N(0)))
+	dep := func(idx lang.Expr, on string) lang.Expr {
+		return lang.B(lang.Add, idx, lang.B(lang.And, lang.V(on), lang.N(0)))
 	}
-	prime := func(idx int64) lang.Stmt {
+	prime := func(idx lang.Expr) lang.Stmt {
 		return lang.Set("acc", lang.B(lang.Add, lang.V("acc"), lang.At("parr", dep(idx, "acc"))))
 	}
 
 	body := append([]lang.Stmt{}, frag.Setup...)
 	body = append(body,
-		prime(la8),
-		prime(cacheRegionElems+la8),
-		prime(lb8),
-		prime(cacheRegionElems+lb8),
+		prime(slot(0)), // R0[la]
+		prime(slot(1)), // R1[la]
+		prime(slot(3)), // R0[lb]
+		prime(slot(4)), // R1[lb]
 	)
 	body = append(body, noiseOps(d.noisePre)...)
 	body = append(body, lang.Set("vv", lang.N(0)))
 	body = append(body, lang.SecretIf(frag.Cond,
-		[]lang.Stmt{lang.Set("vv", lang.At("parr", dep(2*cacheRegionElems+la8, "acc")))},
-		[]lang.Stmt{lang.Set("vv", lang.At("parr", dep(2*cacheRegionElems+lb8, "acc")))},
+		[]lang.Stmt{lang.Set("vv", lang.At("parr", dep(slot(2), "acc")))}, // R2[la]
+		[]lang.Stmt{lang.Set("vv", lang.At("parr", dep(slot(5), "acc")))}, // R2[lb]
 	))
 	// Attacker-strength gap activity between the victim's access and the
 	// probe: its loads land in the probed-set pool of region 2.
@@ -72,10 +99,10 @@ func cacheProgram(frag victim.Fragment, d draw, gapSeed int64, gap int) *lang.Pr
 	})...)
 	body = append(body, lang.Put(markerArray, lang.N(0), lang.N(1))) // probe start
 	body = append(body, noiseOps(d.noiseWin)...)
-	body = append(body, lang.Set("p1", lang.At("parr", dep(la8, "vv"))))
+	body = append(body, lang.Set("p1", lang.At("parr", dep(slot(0), "vv"))))
 	body = append(body, lang.Put(markerArray, lang.N(0), lang.N(2))) // after set-A reload
 	body = append(body, noiseOps(d.noiseWin)...)
-	body = append(body, lang.Set("p2", lang.At("parr", dep(lb8, "p1"))))
+	body = append(body, lang.Set("p2", lang.At("parr", dep(slot(3), "p1"))))
 	body = append(body, lang.Put(markerArray, lang.N(0), lang.N(3))) // after set-B reload
 	body = append(body, lang.Set("acc", lang.B(lang.Add, lang.V("acc"), lang.V("p2"))))
 

@@ -46,6 +46,13 @@ func init() {
 	reg.CounterFunc("sempe_superblock_legacy_ops_total",
 		"Operations executed via the legacy per-op decode path.",
 		u64(&perfCounters.sbLegacy))
+	reg.CounterFunc("sempe_sb_wrongpath_builds_total",
+		"Superblock builds attributed to squashed (wrong-path) fetch regions.",
+		u64(&perfCounters.sbWPBuilds))
+	reg.CounterFunc("sempe_sb_wrongpath_replays_total",
+		"Replayed micro-ops later squashed by a flush: wrong-path work the "+
+			"engine ran at superblock speed instead of the legacy walk.",
+		u64(&perfCounters.sbWPReplay))
 	reg.CounterFunc("sempe_attack_trials_total",
 		"Attack trials completed across all batches.",
 		u64(&perfCounters.trials))

@@ -38,9 +38,10 @@ import (
 // tmplKey captures everything the attacker program's SHAPE depends on. Two
 // trials with equal keys build structurally identical programs that differ
 // only in scalar initial values (the patch slots): the key/prefix, the
-// noise-chain seed, and the gap-activity seed are all data, while the draw
-// fields that steer statement emission (noise op counts, probed lines) and
-// the batch geometry (victim, width, bit, gap) are part of the key.
+// noise-chain seed, the gap-activity seed, and the prime+probe probed-set
+// offsets ("pla"/"plb") are all data, while the draw fields that steer
+// statement emission (noise op counts) and the batch geometry (victim,
+// width, bit, gap) are part of the key.
 type tmplKey struct {
 	kind     Kind
 	secure   bool
@@ -50,7 +51,6 @@ type tmplKey struct {
 	noisePre int
 	noiseWin int
 	gap      int
-	la, lb   int // prime+probe probed lines; zeroed for BPProbe (unused there)
 }
 
 // tmplMemo is the process-wide template cache, shared by every runner.
@@ -73,6 +73,12 @@ type Perf struct {
 	SBBuilds          uint64 `json:"sb_builds"`
 	SBReplays         uint64 `json:"sb_replays"`
 	SBLegacyOps       uint64 `json:"sb_legacy_ops"`
+	// SBWrongPathBuilds/SBWrongPathReplays are the slices of the above that
+	// the flush logic attributed to squashed (never-committed) paths: work
+	// the wrong-path replay engine ran at superblock speed instead of
+	// diverting to the legacy walk.
+	SBWrongPathBuilds  uint64 `json:"sb_wrongpath_builds"`
+	SBWrongPathReplays uint64 `json:"sb_wrongpath_replays"`
 	// Trials and TrialSeconds measure batch throughput: trials completed
 	// across all runTrials batches and the wall-clock seconds those batches
 	// took (summed per batch, so parallel batches count once). Trials /
@@ -88,6 +94,8 @@ var perfCounters struct {
 	sbBuilds   atomic.Uint64
 	sbReplays  atomic.Uint64
 	sbLegacy   atomic.Uint64
+	sbWPBuilds atomic.Uint64
+	sbWPReplay atomic.Uint64
 	trials     atomic.Uint64
 	trialNS    atomic.Uint64
 }
@@ -96,17 +104,19 @@ var perfCounters struct {
 func PerfSnapshot() Perf {
 	h, m, e := tmplMemo.Counters()
 	return Perf{
-		TemplateHits:      h,
-		TemplateMisses:    m,
-		TemplateEvictions: e,
-		TemplateFallbacks: perfCounters.fallbacks.Load(),
-		CoreBuilds:        perfCounters.coreBuilds.Load(),
-		CoreResets:        perfCounters.coreResets.Load(),
-		SBBuilds:          perfCounters.sbBuilds.Load(),
-		SBReplays:         perfCounters.sbReplays.Load(),
-		SBLegacyOps:       perfCounters.sbLegacy.Load(),
-		Trials:            perfCounters.trials.Load(),
-		TrialSeconds:      float64(perfCounters.trialNS.Load()) / 1e9,
+		TemplateHits:       h,
+		TemplateMisses:     m,
+		TemplateEvictions:  e,
+		TemplateFallbacks:  perfCounters.fallbacks.Load(),
+		CoreBuilds:         perfCounters.coreBuilds.Load(),
+		CoreResets:         perfCounters.coreResets.Load(),
+		SBBuilds:           perfCounters.sbBuilds.Load(),
+		SBReplays:          perfCounters.sbReplays.Load(),
+		SBLegacyOps:        perfCounters.sbLegacy.Load(),
+		SBWrongPathBuilds:  perfCounters.sbWPBuilds.Load(),
+		SBWrongPathReplays: perfCounters.sbWPReplay.Load(),
+		Trials:             perfCounters.trials.Load(),
+		TrialSeconds:       float64(perfCounters.trialNS.Load()) / 1e9,
 	}
 }
 
@@ -223,6 +233,8 @@ func (r *runner) run(d draw, gapSeed int64, key uint64, buf *[]float64) ([]float
 	perfCounters.sbBuilds.Add(sb.Builds)
 	perfCounters.sbReplays.Add(sb.Replays)
 	perfCounters.sbLegacy.Add(sb.LegacyOps)
+	perfCounters.sbWPBuilds.Add(sb.WrongPathBuilds)
+	perfCounters.sbWPReplay.Add(sb.WrongPathReplays)
 	if len(r.stamps) != wantStamps {
 		return nil, fmt.Errorf("got %d marker stamps, want %d", len(r.stamps), wantStamps)
 	}
@@ -254,9 +266,6 @@ func (r *runner) prepare(d draw, gapSeed int64, key uint64) (*compile.Output, in
 		noisePre: d.noisePre,
 		noiseWin: d.noiseWin,
 		gap:      r.p.Gap,
-	}
-	if r.p.Kind == PrimeProbe {
-		k.la, k.lb = d.la, d.lb
 	}
 	if r.ki == nil {
 		// No patch contract: full rebuild per trial, and no point caching.
@@ -290,6 +299,12 @@ func (r *runner) prepare(d draw, gapSeed int64, key uint64) (*compile.Output, in
 	r.vals = append(r.vals[:0], tmpl.BaseInits()...)
 	r.ki.KeyInits(key, r.p.width(), r.p.Bit, r.putVal)
 	r.putVal("nv", d.seed0)
+	if r.p.Kind == PrimeProbe {
+		idxVals := cacheIdxVals(d.la, d.lb)
+		for i, name := range cacheIdxNames {
+			r.putVal(name, idxVals[i])
+		}
+	}
 	if r.p.Gap > 0 {
 		r.putVal("gv", gapSeed)
 	}
@@ -322,6 +337,11 @@ func (r *runner) templateUsable(t *compile.Template) bool {
 	}
 	r.ki.KeyInits(0, r.p.width(), r.p.Bit, func(name string, _ int64) { need(name) })
 	need("nv")
+	if r.p.Kind == PrimeProbe {
+		for _, name := range cacheIdxNames {
+			need(name)
+		}
+	}
 	if r.p.Gap > 0 {
 		need("gv")
 	}

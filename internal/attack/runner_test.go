@@ -126,6 +126,41 @@ func TestTemplatePatchMatchesFreshCompile(t *testing.T) {
 	if h1, _, _ := tmplMemo.Counters(); h1 == h0 {
 		t.Error("template cache recorded no hits; the patch fast path never engaged")
 	}
+
+	// The probed-set draw is patch data, not shape: prime+probe trials that
+	// differ only in (la, lb) must share one cached template. Drive prepare
+	// with hand-built draws that pin every shape field and vary only the
+	// probed pair, and require at most one miss (the initial build — zero
+	// when an earlier subtest already cached this shape), a hit for every
+	// other draw, and no evictions. Before the probed-set offsets moved
+	// into patch slots, each pair was its own key and every draw missed.
+	t.Run("probedset-memo", func(t *testing.T) {
+		p := DefaultParams(PrimeProbe, false)
+		p.Victim, p.Width, p.Bit, p.KeyPrefix = "keyloop", 4, 2, 2
+		r, err := newRunner(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h0, m0, e0 := tmplMemo.Counters()
+		pairs := [][2]int{{16, 17}, {40, 200}, {77, 33}, {120, 121}, {18, 239}, {90, 16}}
+		for i, pair := range pairs {
+			d := draw{seed0: int64(1000 + i), noisePre: 5, la: pair[0], lb: pair[1]}
+			if _, _, err := r.prepare(d, 0, p.KeyPrefix); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h1, m1, e1 := tmplMemo.Counters()
+		hits, misses := h1-h0, m1-m0
+		if misses > 1 {
+			t.Errorf("%d probed-set pairs caused %d template misses, want at most 1", len(pairs), misses)
+		}
+		if hits+misses != uint64(len(pairs)) || hits < uint64(len(pairs)-1) {
+			t.Errorf("template hits %d + misses %d across %d draws; want every draw after the build to hit", hits, misses, len(pairs))
+		}
+		if e1 != e0 {
+			t.Errorf("template evictions changed (%d -> %d)", e0, e1)
+		}
+	})
 }
 
 // TestParallelMatchesSerial: batch and key-extraction output must be

@@ -127,9 +127,18 @@ func (tb *tageTable) tag(pc uint64) uint16 {
 
 // Predict returns the predicted direction for the branch at pc.
 func (t *TAGE) Predict(pc uint64) bool {
-	taken, provider, altPred := t.predictInternal(pc)
 	m := &t.memo[pc&(tageMemoSize-1)]
-	m.pc, m.gen = pc, t.gen
+	if m.pc == pc && m.gen == t.gen {
+		// Re-prediction of a pc already resolved in this generation: tight
+		// loops and wrong-path refetches after a flush re-predict the same
+		// branch before any commit trains the tables, so the recorded result
+		// is still exact. Nothing invalidates the memo on a flush — predictor
+		// state only moves at Update — which is what keeps the fast path live
+		// across wrong-path execution.
+		t.FastHits++
+		return m.pred
+	}
+	taken, provider, altPred := t.predictInternal(pc)
 	m.provider, m.pred, m.altPred = int16(provider), taken, altPred
 	return taken
 }

@@ -76,6 +76,10 @@ type Output struct {
 	ResultBase uint64
 	VarOrder   []string
 	ArrayAddrs map[string]uint64
+	// ImmSlots maps each named literal slot (lang.NS) to the code byte
+	// offsets (relative to Prog.CodeBase) of the load-immediate
+	// instructions carrying it; nil when the program declares none.
+	ImmSlots map[string][]int
 }
 
 // ResultAddr returns the address of a variable's result slot.
@@ -201,6 +205,7 @@ func (c *compiler) compile() (*Output, error) {
 		ResultBase: resultBase,
 		VarOrder:   varOrder,
 		ArrayAddrs: c.arrAddr,
+		ImmSlots:   c.b.ImmSlotOffsets(),
 	}, nil
 }
 

@@ -16,6 +16,9 @@ func (c *compiler) expr(e lang.Expr, remap map[string]string) (value, error) {
 			return value{}, fmt.Errorf("literal %d exceeds 32-bit immediate", e.V)
 		}
 		c.emit(isa.Inst{Op: isa.OpLi, Rd: t, Imm: e.V})
+		if e.Slot != "" {
+			c.b.MarkImmSlot(e.Slot)
+		}
 		return value{t, true}, nil
 	case lang.VarRef:
 		r, ok := c.varReg[e.Name]
@@ -134,8 +137,10 @@ func regOp(op lang.BinOp) (isa.Op, bool /*invert result*/, bool /*swap operands*
 }
 
 func (c *compiler) binExpr(e lang.Bin, remap map[string]string) (value, error) {
-	// Immediate fast path: op with a literal right operand.
-	if lit, ok := e.B.(lang.IntLit); ok && fitsImm(lit.V) {
+	// Immediate fast path: op with a literal right operand. Slotted
+	// literals are excluded — a template patches the imm32 of a plain LI,
+	// so they must never fold into a fused immediate form.
+	if lit, ok := e.B.(lang.IntLit); ok && lit.Slot == "" && fitsImm(lit.V) {
 		if op, ok := immOp(e.Op); ok {
 			a, err := c.expr(e.A, remap)
 			if err != nil {
@@ -235,7 +240,9 @@ func (c *compiler) elemAddr(arr string, idx lang.Expr, remap map[string]string) 
 	if !ok {
 		return value{}, fmt.Errorf("undefined array %q", arr)
 	}
-	if lit, isLit := idx.(lang.IntLit); isLit {
+	// Constant indices fold base+8*idx into one LI — unless the literal is
+	// slotted, whose LI must carry the raw value for template patching.
+	if lit, isLit := idx.(lang.IntLit); isLit && lit.Slot == "" {
 		t := c.mustTemp()
 		c.emit(isa.Inst{Op: isa.OpLi, Rd: t, Imm: int64(base) + 8*lit.V})
 		return value{t, true}, nil

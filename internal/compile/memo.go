@@ -2,6 +2,7 @@ package compile
 
 import (
 	"encoding/binary"
+	"sort"
 	"sync"
 
 	"repro/internal/isa"
@@ -16,13 +17,21 @@ import (
 // operands (the initial register values the key, the calibration seed, and
 // the gap seed flow through).
 //
+// Beyond the prologue, a program may declare named literal slots in its body
+// (lang.NS): the compiler records the code offset of each slot's
+// load-immediate, and the template patches those sites too. Named slots
+// occupy the patch-value indices after the prologue scalars, in sorted name
+// order; a name appearing at several code points is one slot patched at
+// every site.
+//
 // Patchability is proven, not assumed: NewTemplate decodes the prologue and
 // verifies it is exactly one OpLi per scalar, in declaration order, targeting
-// the variable's assigned register. Any mismatch — a compiler change, an
-// unexpected prefix, a variable whose value reaches the program some other
-// way — marks the template non-patchable and callers fall back to a full
-// recompilation, so the fast path can never silently produce a program that
-// differs from what Compile would emit.
+// the variable's assigned register, and that every named-slot site is a plain
+// OpLi whose immediate matches the slot's base value. Any mismatch — a
+// compiler change, an unexpected prefix, a variable whose value reaches the
+// program some other way — marks the template non-patchable and callers fall
+// back to a full recompilation, so the fast path can never silently produce
+// a program that differs from what Compile would emit.
 type Template struct {
 	Out *Output
 
@@ -31,12 +40,17 @@ type Template struct {
 	// nil when the prologue could not be proven patchable.
 	immOffs []int
 
-	// baseInits[i] is the immediate the template was compiled with, the
-	// default a Specialize caller starts from for values that do not change
-	// per trial.
+	// namedOffs[j] lists the immediate byte offsets of every code site
+	// carrying the j-th named slot (sorted by slot name); its patch value
+	// lives at index len(immOffs)+j.
+	namedOffs [][]int
+
+	// baseInits[i] is the immediate the template was compiled with —
+	// prologue scalars first, then named slots — the default a Specialize
+	// caller starts from for values that do not change per trial.
 	baseInits []int64
 
-	// slotIdx maps a scalar name to its index in immOffs/baseInits.
+	// slotIdx maps a scalar or named-slot name to its patch-value index.
 	slotIdx map[string]int
 }
 
@@ -51,16 +65,17 @@ func NewTemplate(p *lang.Program, mode Mode) (*Template, error) {
 	return t, nil
 }
 
-// analyze locates the prologue's load-immediate slots. The prologue starts
-// at the entry point (code emission begins at Label("main")) and consists of
-// one OpLi per scalar in declaration order; anything else leaves the
-// template non-patchable.
+// analyze locates the prologue's load-immediate slots and verifies the named
+// body slots. The prologue starts at the entry point (code emission begins at
+// Label("main")) and consists of one OpLi per scalar in declaration order;
+// each named-slot site must decode as a plain OpLi carrying the slot's base
+// value. Anything else leaves the template non-patchable.
 func (t *Template) analyze() {
 	prog := t.Out.Prog
 	off := int(prog.Entry - prog.CodeBase)
 	offs := make([]int, 0, len(t.Out.VarOrder))
 	inits := make([]int64, 0, len(t.Out.VarOrder))
-	idx := make(map[string]int, len(t.Out.VarOrder))
+	idx := make(map[string]int, len(t.Out.VarOrder)+len(t.Out.ImmSlots))
 	for i, name := range t.Out.VarOrder {
 		in, size, err := isa.Decode(prog.Code, off)
 		if err != nil || in.Op != isa.OpLi || in.Secure || in.Rd != t.Out.VarRegs[name] {
@@ -73,7 +88,38 @@ func (t *Template) analyze() {
 		idx[name] = i
 		off += size
 	}
+
+	names := make([]string, 0, len(t.Out.ImmSlots))
+	for name := range t.Out.ImmSlots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	named := make([][]int, 0, len(names))
+	for _, name := range names {
+		if _, dup := idx[name]; dup {
+			return // a named slot shadowing a scalar is ambiguous
+		}
+		sites := make([]int, 0, len(t.Out.ImmSlots[name]))
+		var base int64
+		for k, start := range t.Out.ImmSlots[name] {
+			in, size, err := isa.Decode(prog.Code, start)
+			if err != nil || in.Op != isa.OpLi || in.Secure {
+				return
+			}
+			if k == 0 {
+				base = in.Imm
+			} else if in.Imm != base {
+				return // sites disagree; one patch value cannot serve both
+			}
+			sites = append(sites, start+size-4)
+		}
+		idx[name] = len(offs) + len(named)
+		named = append(named, sites)
+		inits = append(inits, base)
+	}
+
 	t.immOffs = offs
+	t.namedOffs = named
 	t.baseInits = inits
 	t.slotIdx = idx
 }
@@ -81,27 +127,29 @@ func (t *Template) analyze() {
 // Patchable reports whether Specialize can rewrite this template.
 func (t *Template) Patchable() bool { return t.immOffs != nil }
 
-// NumSlots returns the number of patchable scalar slots.
-func (t *Template) NumSlots() int { return len(t.immOffs) }
+// NumSlots returns the number of patchable value slots: the prologue
+// scalars followed by the named literal slots.
+func (t *Template) NumSlots() int { return len(t.immOffs) + len(t.namedOffs) }
 
-// BaseInits returns the immediates the template was compiled with, indexed
-// like Output.VarOrder. Callers must treat the slice as read-only.
+// BaseInits returns the immediates the template was compiled with —
+// Output.VarOrder scalars first, then named slots in sorted name order.
+// Callers must treat the slice as read-only.
 func (t *Template) BaseInits() []int64 { return t.baseInits }
 
-// SlotIndex returns the patch-slot index for a scalar name.
+// SlotIndex returns the patch-value index for a scalar or named-slot name.
 func (t *Template) SlotIndex(name string) (int, bool) {
 	i, ok := t.slotIdx[name]
 	return i, ok
 }
 
 // Specialize appends a copy of the template's code with vals patched into
-// the prologue immediates to buf[:0] and returns it. It fails (ok=false)
-// when the template is not patchable or a value does not fit the 4-byte
-// immediate encoding; callers then recompile from source. Data segments and
-// all other Output metadata are shared with the template: nothing but the
-// prologue immediates varies per trial.
+// the prologue and named-slot immediates to buf[:0] and returns it. It fails
+// (ok=false) when the template is not patchable or a value does not fit the
+// 4-byte immediate encoding; callers then recompile from source. Data
+// segments and all other Output metadata are shared with the template:
+// nothing but the patched immediates varies per trial.
 func (t *Template) Specialize(vals []int64, buf []byte) (code []byte, ok bool) {
-	if t.immOffs == nil || len(vals) != len(t.immOffs) {
+	if t.immOffs == nil || len(vals) != t.NumSlots() {
 		return nil, false
 	}
 	for _, v := range vals {
@@ -112,6 +160,12 @@ func (t *Template) Specialize(vals []int64, buf []byte) (code []byte, ok bool) {
 	code = append(buf[:0], t.Out.Prog.Code...)
 	for i, off := range t.immOffs {
 		binary.LittleEndian.PutUint32(code[off:], uint32(int32(vals[i])))
+	}
+	for j, sites := range t.namedOffs {
+		v := uint32(int32(vals[len(t.immOffs)+j]))
+		for _, off := range sites {
+			binary.LittleEndian.PutUint32(code[off:], v)
+		}
 	}
 	return code, true
 }

@@ -163,7 +163,7 @@ func ablationPoint(spec AblationSpec, slots, bw int) (AblationRow, error) {
 	if err != nil {
 		return AblationRow{}, fmt.Errorf("ablation slots=%d bw=%d sempe: %w", slots, bw, err)
 	}
-	return AblationRow{
+	row := AblationRow{
 		Slots:          slots,
 		Bandwidth:      bw,
 		BaseCycles:     base.Stats.Cycles,
@@ -172,7 +172,10 @@ func ablationPoint(spec AblationSpec, slots, bw int) (AblationRow, error) {
 		SPMStallCycles: sec.Stats.SPMStallCycles,
 		NestOverflows:  sec.Stats.NestOverflows,
 		MaxNestDepth:   sec.Stats.MaxNestDepth,
-	}, nil
+	}
+	releaseCore(pipeline.DefaultConfig(), base)
+	releaseCore(cfg, sec)
+	return row, nil
 }
 
 // Ablation runs the SPM geometry grid through the engine sweep.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/compile"
 	"repro/internal/isa"
@@ -27,13 +28,37 @@ import (
 	"repro/internal/workloads"
 )
 
-// Run executes a compiled program on a core and returns it.
+// protoPools recycles cores per configuration for the point functions,
+// which harvest their row fields from the finished core and hand it back
+// via releaseCore. Pooled spin-up is a Reset — cycle- and event-identical
+// to a fresh construction (pipeline's TestCoreResetDifferential) — so
+// sweep workers pay core construction once per configuration, not once per
+// grid point.
+var protoPools sync.Map // pipeline.Config -> *pipeline.Prototype
+
+func protoFor(cfg pipeline.Config) *pipeline.Prototype {
+	pi, _ := protoPools.LoadOrStore(cfg, pipeline.NewPrototype(cfg, nil))
+	return pi.(*pipeline.Prototype)
+}
+
+// Run executes a compiled program on a core and returns it. The core comes
+// from the per-configuration pool; callers that finish reading its state
+// should return it with releaseCore (dropping it is safe, just unpooled).
 func Run(cfg pipeline.Config, prog *isa.Program) (*pipeline.Core, error) {
-	core := pipeline.New(cfg, prog)
+	core := protoFor(cfg).NewCoreFor(prog)
 	if err := core.Run(); err != nil {
 		return nil, err
 	}
 	return core, nil
+}
+
+// releaseCore returns a core obtained from Run/mustRun to its
+// configuration's pool. The caller must have copied out every field it
+// needs; the core must not be used afterwards.
+func releaseCore(cfg pipeline.Config, core *pipeline.Core) {
+	if core != nil {
+		protoFor(cfg).Recycle(core)
+	}
 }
 
 func mustRun(cfg pipeline.Config, p *lang.Program, mode compile.Mode) (*pipeline.Core, error) {

@@ -166,6 +166,9 @@ func fig10Point(spec Fig10Spec, kind workloads.Kind, w int) (Fig10Row, error) {
 	}
 	row.SeMPESlowdown = float64(sec.Stats.Cycles) / float64(base.Stats.Cycles)
 	row.CTESlowdown = float64(cte.Stats.Cycles) / float64(base.Stats.Cycles)
+	releaseCore(pipeline.DefaultConfig(), base)
+	releaseCore(pipeline.SecureConfig(), sec)
+	releaseCore(pipeline.DefaultConfig(), cte)
 	return row, nil
 }
 

@@ -157,7 +157,7 @@ func fig8Point(spec Fig8Spec, format jpegsim.Format, size jpegsim.Size) (Fig8Row
 	if err != nil {
 		return Fig8Row{}, fmt.Errorf("fig8 %v/%s sempe: %w", format, size.Label, err)
 	}
-	return Fig8Row{
+	row := Fig8Row{
 		Format:       format,
 		Size:         size.Label,
 		Blocks:       size.Blocks,
@@ -170,7 +170,10 @@ func fig8Point(spec Fig8Spec, format jpegsim.Format, size jpegsim.Size) (Fig8Row
 		BaseL2:       base.Hier.L2.Stats,
 		SecureL2:     sec.Hier.L2.Stats,
 		Overhead:     float64(sec.Stats.Cycles)/float64(base.Stats.Cycles) - 1,
-	}, nil
+	}
+	releaseCore(pipeline.DefaultConfig(), base)
+	releaseCore(pipeline.SecureConfig(), sec)
+	return row, nil
 }
 
 // Fig8 runs the decoder grid through the engine sweep.

@@ -48,8 +48,15 @@ type Expr interface {
 	String() string
 }
 
-// IntLit is an integer literal.
-type IntLit struct{ V int64 }
+// IntLit is an integer literal. A non-empty Slot names the literal as a
+// patchable template slot: the compiler records the code offset of the
+// load-immediate carrying it (and never folds it into a fused immediate
+// form), so compile.Template can rewrite the value per run without
+// recompiling. The slot name has no effect on program semantics.
+type IntLit struct {
+	V    int64
+	Slot string
+}
 
 // VarRef reads a scalar variable.
 type VarRef struct{ Name string }
@@ -164,7 +171,13 @@ func (*While) isStmt()  {}
 // Convenience constructors keep workload definitions readable.
 
 // N builds an integer literal.
-func N(v int64) Expr { return IntLit{v} }
+func N(v int64) Expr { return IntLit{V: v} }
+
+// NS builds an integer literal carried in a named template patch slot. The
+// same slot name may appear at several points in a program; a template
+// patches every such site with one value, so all sites of a slot must be
+// built with the same base literal.
+func NS(slot string, v int64) Expr { return IntLit{V: v, Slot: slot} }
 
 // V reads a variable.
 func V(name string) Expr { return VarRef{name} }

@@ -46,9 +46,9 @@ func collapseIf(node *If, n *int) Stmt {
 		// a 0/1 conjunction it needs no re-normalization, and left-deep
 		// trees evaluate with constant register pressure.
 		if !collapsed {
-			node.Cond = Bin{Ne, node.Cond, IntLit{0}}
+			node.Cond = Bin{Ne, node.Cond, IntLit{V: 0}}
 		}
-		node.Cond = Bin{And, node.Cond, Bin{Ne, inner.Cond, IntLit{0}}}
+		node.Cond = Bin{And, node.Cond, Bin{Ne, inner.Cond, IntLit{V: 0}}}
 		node.Then = inner.Then
 		collapsed = true
 		*n++

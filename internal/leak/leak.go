@@ -73,37 +73,29 @@ func observationOf(core *pipeline.Core) Observation {
 // callers never see the core (Distinguish, DistinguishMany). A recycled
 // core is Reset onto the next program — cycle- and event-identical to a
 // fresh construction (pinned by pipeline's TestCoreResetDifferential) —
-// which removes per-observation core construction from sweep loops.
-var corePools sync.Map // pipeline.Config -> *sync.Pool
+// which removes per-observation core construction from sweep loops. The
+// pipeline.Prototype free list survives GC cycles (unlike sync.Pool), so
+// long sweeps re-enter the construction cold path at most once per
+// configuration per worker.
+var corePools sync.Map // pipeline.Config -> *pipeline.Prototype
 
 // ObservePooled is Observe on a pooled core. Use it only where the core
 // itself is not needed after the run; the returned observation is identical
 // to Observe's.
 func ObservePooled(cfg pipeline.Config, prog *isa.Program) (Observation, error) {
-	pi, _ := corePools.LoadOrStore(cfg, &sync.Pool{})
-	pool := pi.(*sync.Pool)
-	var core *pipeline.Core
-	if c, ok := pool.Get().(*pipeline.Core); ok {
-		c.Reset(prog)
-		core = c
-	} else {
-		core = pipeline.New(cfg, prog)
-	}
+	pi, _ := corePools.LoadOrStore(cfg, pipeline.NewPrototype(cfg, nil))
+	proto := pi.(*pipeline.Prototype)
+	core := proto.NewCoreFor(prog)
 	if err := core.Run(); err != nil {
 		// A failed run leaves the core mid-flight; drop it rather than
 		// reasoning about partial state.
 		return Observation{}, err
 	}
 	o := observationOf(core)
-	// Reset preserves caller-armed hooks by design; strip them (and trace
-	// capture) before the core becomes visible to unrelated callers. A
-	// caller-armed spec watch is likewise stripped — the next Reset re-arms
-	// the process default, if one is set.
-	core.MemWatch = nil
-	core.BranchWatch = nil
-	core.TraceCommits = false
-	core.SetSpecWatch(nil)
-	pool.Put(core)
+	// Recycle strips caller-armed hooks (and trace capture) before the core
+	// becomes visible to unrelated callers; Reset deliberately preserves
+	// them, so stripping happens at the pool boundary.
+	proto.Recycle(core)
 	return o, nil
 }
 

@@ -45,8 +45,9 @@ func (c *Core) wakePreg(p int16) {
 	}
 	c.waitHead[p] = -1
 	arena := c.pool.arena
+	nodes := c.waitNodes
 	for n >= 0 {
-		nd := &c.waitNodes[n]
+		nd := &nodes[n]
 		next := nd.next
 		u := &arena[nd.ref]
 		if u.seq == nd.seq && !u.squashed {
@@ -90,13 +91,17 @@ func (c *Core) issue() {
 		return
 	}
 	issued := 0
-	alu, muldiv, load, store, branch := 0, 0, 0, 0, 0
+	// Remaining per-class functional-unit slots this cycle, counted down so
+	// the inner loop compares against zero instead of re-loading config.
+	alu, muldiv := c.cfg.NumALU, c.cfg.NumMulDiv
+	load, store, branch := c.cfg.NumLoad, c.cfg.NumStore, c.cfg.NumBranch
+	width := c.cfg.IssueWidth
 	arena := c.pool.arena
 	rl := c.readyList
 	kept := 0
 	for idx := 0; idx < c.readyCount; idx++ {
 		i := rl[idx]
-		if issued >= c.cfg.IssueWidth {
+		if issued >= width {
 			rl[kept] = i
 			kept++
 			continue
@@ -105,28 +110,28 @@ func (c *Core) issue() {
 		var ok bool
 		switch u.cl {
 		case isa.ClassALU, isa.ClassCMov:
-			if alu < c.cfg.NumALU {
-				alu++
+			if alu > 0 {
+				alu--
 				ok = true
 			}
 		case isa.ClassMul, isa.ClassDiv:
-			if muldiv < c.cfg.NumMulDiv {
-				muldiv++
+			if muldiv > 0 {
+				muldiv--
 				ok = true
 			}
 		case isa.ClassLoad:
-			if load < c.cfg.NumLoad && c.loadCanExecute(u) {
-				load++
+			if load > 0 && c.loadCanExecute(u) {
+				load--
 				ok = true
 			}
 		case isa.ClassStore:
-			if store < c.cfg.NumStore {
-				store++
+			if store > 0 {
+				store--
 				ok = true
 			}
 		case isa.ClassBranch, isa.ClassJump:
-			if branch < c.cfg.NumBranch {
-				branch++
+			if branch > 0 {
+				branch--
 				ok = true
 			}
 		}
@@ -141,22 +146,16 @@ func (c *Core) issue() {
 	c.readyCount = kept
 }
 
-func (c *Core) srcVal(p int16) uint64 {
-	if p < 0 {
-		return 0
-	}
-	return c.physVal[p]
-}
-
 // execute computes u's result and schedules its completion. u must be
-// c.u(i); the caller passes the pointer it already resolved.
+// c.u(i); the caller passes the pointer it already resolved. Unused sources
+// read the psNone sentinel (always zero), so no per-operand branch.
 func (c *Core) execute(i uref, u *uop) {
 	u.issued = true
 	c.iqCount--
 	in := u.inst
-	a := c.srcVal(u.ps1)
-	b := c.srcVal(u.ps2)
-	old := c.srcVal(u.ps3)
+	a := c.physVal[u.ps1]
+	b := c.physVal[u.ps2]
+	old := c.physVal[u.ps3]
 
 	spec := c.specWatch != nil && specWatched(u)
 	if spec {
@@ -354,6 +353,13 @@ func (c *Core) writeback() {
 	for n >= 0 {
 		due = append(due, n)
 		n = c.calNext[n]
+	}
+	// The bucket chain is LIFO over filing order and filing order is close
+	// to seq order (issue executes oldest-first), so the chain walk yields a
+	// mostly-descending list. Reverse it so the oldest-first insertion sort
+	// below sees near-sorted input and runs near-linear instead of quadratic.
+	for l, r := 0, len(due)-1; l < r; l, r = l+1, r-1 {
+		due[l], due[r] = due[r], due[l]
 	}
 	if len(c.calOverflow) > 0 {
 		// Degenerate-config safety net: latencies past the wheel are scanned

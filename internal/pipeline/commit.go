@@ -97,9 +97,14 @@ func (c *Core) retire() error {
 			}
 		}
 
+		if c.wpOff && (u.cl == isa.ClassBranch || u.cl == isa.ClassJump) {
+			c.specCtl-- // resolved: this control op is no longer speculative
+		}
+
 		// Pop from the ROB before any controller action so that the
-		// controller sees an empty window (drains guarantee it).
-		c.rob[c.robHead] = nilRef
+		// controller sees an empty window (drains guarantee it). Ring
+		// contents beyond the live window are never read, so the vacated
+		// slot needs no nilRef store.
 		c.robHead++
 		if c.robHead >= c.cfg.ROBSize {
 			c.robHead = 0
@@ -200,6 +205,7 @@ func (c *Core) commitEOSJmp(u *uop) error {
 		// The drain guarantees an empty window, so a secure redirect only
 		// drops never-renamed front-end work — it squashes nothing in the ROB.
 		dropped := c.redirectFrontEnd(top.Target)
+		c.sbCountWrongPathBuilds(u.seq)
 		c.Stats.WrongPathFetches += dropped
 		if c.specWatch != nil {
 			c.emitSpec(SpecEvent{Kind: SpecFlush, Seq: u.seq, PC: u.pc, Addr: top.Target,

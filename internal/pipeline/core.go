@@ -26,6 +26,19 @@ func init() { superblockDefaultOn.Store(true) }
 // cached-trace front end off; per-core control is Config.DisableSuperblock.
 func SetSuperblockDefault(on bool) bool { return superblockDefaultOn.Swap(on) }
 
+// wrongPathReplayDefaultOn is the process-wide default for superblock
+// replay through speculative (potentially wrong-path) fetch, captured by
+// New into each core like superblockDefaultOn.
+var wrongPathReplayDefaultOn atomic.Bool
+
+func init() { wrongPathReplayDefaultOn.Store(true) }
+
+// SetWrongPathReplayDefault flips the process-wide wrong-path replay
+// default and returns the previous value. With it off, cores divert to the
+// legacy fetch walk whenever a control-flow op is in flight; per-core
+// control is Config.DisableWrongPathReplay.
+func SetWrongPathReplayDefault(on bool) bool { return wrongPathReplayDefaultOn.Swap(on) }
+
 // Core is one simulated processor instance. A Core runs a single program to
 // completion; construct a fresh Core per run.
 type Core struct {
@@ -48,8 +61,12 @@ type Core struct {
 	archRegs [isa.NumArchRegs]uint64
 	halted   bool
 
-	// Rename structures.
-	rat       [isa.NumArchRegs]int16
+	// Rename structures. rat, physVal, and physReady each carry one sentinel
+	// slot past their architectural/physical size: rat[sraNone] is pinned to
+	// psNone, physVal[psNone] to 0, and physReady[psNone] to true, so rename
+	// and execute index them unconditionally for unused source operands
+	// instead of branching on a -1 marker per operand.
+	rat       [isa.NumArchRegs + 1]int16
 	physVal   []uint64
 	physReady []bool
 	freeList  []int16
@@ -104,12 +121,24 @@ type Core struct {
 	fe              feRing // fused fetch buffer + decode queue
 
 	// Pre-decode cache, indexed by pc-CodeBase: each static instruction is
-	// decoded once, not on every fetch of the same pc.
-	decoded []predec
+	// decoded once, not on every fetch of the same pc. When sharedDecoded is
+	// non-nil the table belongs to a Prototype for that program: it is fully
+	// resolved (so predecAt's lazy fill never writes) and shared with other
+	// cores, and Reset must detach rather than clear it in place.
+	decoded       []predec
+	sharedDecoded *isa.Program
 
 	// Superblock engine (see superblock.go): cached decoded straight-line
 	// traces replayed by fetch, plus the replay cursor.
-	sbOff    bool // engine disabled for this core (config or process default)
+	sbOff bool // engine disabled for this core (config or process default)
+	// Wrong-path replay control (differential testing): with wpOff set,
+	// fetch diverts to the legacy walk whenever specCtl — the number of
+	// renamed, unresolved control-flow ops — is nonzero, so the replay path
+	// never fetches down a potentially mispredicted path. specCtl is
+	// maintained only when wpOff (rename increments; retire and squash
+	// decrement), keeping the default path free of the bookkeeping.
+	wpOff    bool
+	specCtl  int
 	sbIndex  []int32
 	sbBlocks []superblock
 	sbCur    int32 // block being replayed, -1 when none
@@ -118,6 +147,10 @@ type Core struct {
 	// sbEntryPool recycles superblock entry slices across Reset, so a pooled
 	// core's rebuilds after reset are allocation-free at steady state.
 	sbEntryPool [][]sbEntry
+	// sbBuildSeqs stamps each build with the seq it was triggered at, in
+	// ascending order; flushes truncate the wrong-path tail into
+	// SBStats.WrongPathBuilds (sbCountWrongPathBuilds).
+	sbBuildSeqs []uint64
 
 	// Micro-op recycling (zero-alloc steady state).
 	pool      uopPool
@@ -184,12 +217,29 @@ type SuperblockStats struct {
 	Replays    uint64 // instructions fetched via cached traces
 	LegacyOps  uint64 // instructions fetched via the per-instruction walk
 	FastTAGE   uint64 // (reserved) predictor fast-path hits, see bpred
-	Invalidate uint64 // cursor invalidations from redirects
+	Invalidate uint64 // cursor drops from redirects into uncached targets
+	ReKeys     uint64 // cursor re-keys onto a cached block at the redirect target
+	// Wrong-path replay accounting: work the engine performed on paths that
+	// a later flush or secure redirect discarded. Replays counts replayed
+	// micro-ops squashed in the ROB or dropped from the front-end buffers;
+	// Builds counts trace builds triggered by such fetches (the cached block
+	// survives — static traces are path-independent).
+	WrongPathBuilds  uint64
+	WrongPathReplays uint64
 }
 
 // u resolves a micro-op reference. The returned pointer must not be held
 // across a pool get/getRaw call (arena growth moves the backing array).
 func (c *Core) u(i uref) *uop { return &c.pool.arena[i] }
+
+// sraNone is the architectural-source sentinel: rat[sraNone] is pinned to
+// psNone, so an unused source renames to the always-ready, always-zero
+// sentinel physical register without a branch.
+const sraNone = int8(isa.NumArchRegs)
+
+// psNone is the sentinel physical register index (one past the configured
+// register file).
+func (c *Core) psNone() int16 { return int16(c.cfg.PhysRegs) }
 
 // Errors returned by Run.
 var (
@@ -215,11 +265,11 @@ func NewOnMemory(cfg Config, prog *isa.Program, memory *mem.Memory) *Core {
 		BP:           bpred.NewUnit(),
 		JB:           sempe.NewJBTable(cfg.SPM.Slots),
 		SPM:          mem.NewSPM(cfg.SPM),
-		physVal:      make([]uint64, cfg.PhysRegs),
-		physReady:    make([]bool, cfg.PhysRegs),
+		physVal:      make([]uint64, cfg.PhysRegs+1),
+		physReady:    make([]bool, cfg.PhysRegs+1),
 		rob:          make([]uref, cfg.ROBSize),
 		readyList:    make([]uref, cfg.IQSize),
-		waitHead:     make([]int32, cfg.PhysRegs),
+		waitHead:     make([]int32, cfg.PhysRegs+1),
 		waitNodes:    make([]waitNode, 0, 4*cfg.IQSize),
 		waitFreeHead: -1,
 		lq:           make([]uref, 0, cfg.LQSize),
@@ -232,6 +282,7 @@ func NewOnMemory(cfg Config, prog *isa.Program, memory *mem.Memory) *Core {
 		sbCur:        -1,
 	}
 	c.sbOff = cfg.DisableSuperblock || !superblockDefaultOn.Load()
+	c.wpOff = cfg.DisableWrongPathReplay || !wrongPathReplayDefaultOn.Load()
 	if !c.sbOff {
 		c.sbIndex = make([]int32, len(prog.Code))
 		for i := range c.sbIndex {
@@ -273,6 +324,9 @@ func NewOnMemory(cfg Config, prog *isa.Program, memory *mem.Memory) *Core {
 		c.physVal[r] = c.archRegs[r]
 		c.physReady[r] = true
 	}
+	// Sentinel slots for unused source operands (see the rat field comment).
+	c.rat[sraNone] = c.psNone()
+	c.physReady[c.psNone()] = true
 	for p := isa.NumArchRegs; p < cfg.PhysRegs; p++ {
 		c.freeList = append(c.freeList, int16(p))
 	}
@@ -368,12 +422,22 @@ func (c *Core) StepCycle() error {
 	return nil
 }
 
-const fnvOffset = 1469598103934665603
+const (
+	fnvOffset = 1469598103934665603
+	fnvPrime  = 1099511628211
+)
 
+// fnvMix folds v into the FNV-1a digest h, least-significant byte first.
+// Fully unrolled: this runs once per committed op plus once per committed
+// memory access, and the byte loop was a measurable slice of retire.
 func fnvMix(h, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= (v >> (8 * i)) & 0xFF
-		h *= 1099511628211
-	}
+	h = (h ^ (v & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 8) & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 16) & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 24) & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 32) & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 40) & 0xFF)) * fnvPrime
+	h = (h ^ ((v >> 48) & 0xFF)) * fnvPrime
+	h = (h ^ (v >> 56)) * fnvPrime
 	return h
 }

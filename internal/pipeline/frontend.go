@@ -15,7 +15,7 @@ type predec struct {
 	size int8
 
 	cl               isa.Class
-	sra1, sra2, sra3 int8 // arch sources for ps1..ps3, -1 unused
+	sra1, sra2, sra3 int8 // arch sources for ps1..ps3, sraNone unused
 	writesRd         bool
 	isLoad, isStore  bool
 	memWidth         uint8
@@ -27,7 +27,7 @@ type predec struct {
 func fillStatic(d *predec) {
 	in := d.inst
 	d.cl = in.Op.ClassOf()
-	d.sra1, d.sra2, d.sra3 = -1, -1, -1
+	d.sra1, d.sra2, d.sra3 = sraNone, sraNone, sraNone
 	d.writesRd = in.WritesRd()
 	switch {
 	case d.cl == isa.ClassStore:
@@ -99,11 +99,14 @@ func (c *Core) fetch() {
 		c.Stats.FetchStallCycles++
 		return
 	}
-	if c.sbOff || c.specWatch != nil {
+	if c.sbOff || c.specWatch != nil || c.specCtl > 0 {
 		// A live spec watch diverts to the legacy walk: the per-fetch
 		// emission points live there, and the superblock replay path is
 		// cycle-identical by construction (the differential suite pins it),
-		// so the diversion observes without perturbing.
+		// so the diversion observes without perturbing. specCtl > 0 is the
+		// wrong-path-replay-off divert: unresolved control flow is in
+		// flight, so fetch may be on a mispredicted path (the counter is
+		// only ever raised when Config.DisableWrongPathReplay is set).
 		c.fetchLegacy()
 		return
 	}
@@ -277,20 +280,20 @@ func (c *Core) rename() {
 		return
 	}
 	arena := c.pool.arena
+	secure := c.cfg.SeMPE
 	for n := 0; n < c.cfg.RenameWidth && c.fe.decLen() > 0; n++ {
 		i := c.fe.frontDec()
 		u := &arena[i]
-		if c.cfg.SeMPE && (u.isSJmp || u.isEOSJmp) && c.robCount > 0 {
+		if secure && (u.isSJmp || u.isEOSJmp) && c.robCount > 0 {
 			// Drain: wait until every older instruction has committed.
 			c.Stats.DrainStallCycles++
 			return
 		}
-		if !c.dispatchReady(u) {
+		if !c.renameOne(i, u) {
 			return
 		}
 		c.fe.popDec()
-		c.renameOne(i, u)
-		if c.cfg.SeMPE && u.isEOSJmp {
+		if secure && u.isEOSJmp {
 			// Stay drained until the eosJMP commits and the ArchRS
 			// controller has restored register state.
 			c.renameBlocked = true
@@ -299,44 +302,40 @@ func (c *Core) rename() {
 	}
 }
 
-// dispatchReady checks structural resources for one micro-op.
-func (c *Core) dispatchReady(u *uop) bool {
+// renameOne performs the structural-resource checks, register renaming, and
+// dispatch for one micro-op, reporting false (with no state changed) when a
+// resource is exhausted and rename must stall this cycle. The per-class
+// source analysis was done once at predecode (fillStatic); here it is three
+// unconditional rename-map lookups (unused sources read the sraNone/psNone
+// sentinels). u must be c.u(i).
+func (c *Core) renameOne(i uref, u *uop) bool {
 	if c.robCount >= c.cfg.ROBSize {
 		return false
+	}
+	cl := u.cl
+	switch cl {
+	case isa.ClassSys:
+		// NOP, HALT, eosJMP: no issue-queue slot.
+	case isa.ClassLoad:
+		if len(c.lq) >= c.cfg.LQSize || c.iqCount >= c.cfg.IQSize {
+			return false
+		}
+	case isa.ClassStore:
+		if len(c.sq) >= c.cfg.SQSize || c.iqCount >= c.cfg.IQSize {
+			return false
+		}
+	default:
+		if c.iqCount >= c.cfg.IQSize {
+			return false
+		}
 	}
 	if u.writesRd && len(c.freeList) == 0 {
 		return false
 	}
-	switch u.cl {
-	case isa.ClassLoad:
-		if len(c.lq) >= c.cfg.LQSize {
-			return false
-		}
-	case isa.ClassStore:
-		if len(c.sq) >= c.cfg.SQSize {
-			return false
-		}
-	}
-	if u.cl != isa.ClassSys && c.iqCount >= c.cfg.IQSize {
-		return false
-	}
-	return true
-}
 
-// renameOne performs register renaming and dispatch for one micro-op. The
-// per-class source analysis was done once at predecode (fillStatic); here
-// it is three rename-map lookups. u must be c.u(i).
-func (c *Core) renameOne(i uref, u *uop) {
-	u.ps1, u.ps2, u.ps3 = -1, -1, -1
-	if u.sra1 >= 0 {
-		u.ps1 = c.rat[u.sra1]
-	}
-	if u.sra2 >= 0 {
-		u.ps2 = c.rat[u.sra2]
-	}
-	if u.sra3 >= 0 {
-		u.ps3 = c.rat[u.sra3]
-	}
+	u.ps1 = c.rat[u.sra1]
+	u.ps2 = c.rat[u.sra2]
+	u.ps3 = c.rat[u.sra3]
 
 	u.pd, u.oldPd = -1, -1
 	if u.writesRd {
@@ -348,7 +347,6 @@ func (c *Core) renameOne(i uref, u *uop) {
 		c.physReady[u.pd] = false
 		c.rat[rd] = u.pd
 	}
-	cl := u.cl
 
 	// ROB allocation (the ring size is not a power of two, so wrap with a
 	// compare instead of a modulo — this is per-rename hot-path arithmetic).
@@ -364,26 +362,34 @@ func (c *Core) renameOne(i uref, u *uop) {
 		// NOP, HALT, eosJMP: nothing to execute.
 		u.completed = true
 		u.doneCycle = c.cycle
-		return
+		return true
 	case isa.ClassLoad:
 		c.lq = append(c.lq, i)
 	case isa.ClassStore:
 		c.sq = append(c.sq, i)
+	case isa.ClassBranch, isa.ClassJump:
+		if c.wpOff {
+			// Wrong-path replay disabled: track unresolved control flow so
+			// fetch diverts to the legacy walk until this op retires or is
+			// squashed (the matching decrements).
+			c.specCtl++
+		}
 	}
 	c.iqCount++
 
 	// Wakeup registration: count pending sources and subscribe to their
-	// producing registers; an op with none is ready immediately.
+	// producing registers; an op with none is ready immediately. The psNone
+	// sentinel is always ready, so unused sources take no branch here.
 	nr := int8(0)
-	if u.ps1 >= 0 && !c.physReady[u.ps1] {
+	if !c.physReady[u.ps1] {
 		nr++
 		c.regWait(u.ps1, i, u.seq)
 	}
-	if u.ps2 >= 0 && !c.physReady[u.ps2] {
+	if !c.physReady[u.ps2] {
 		nr++
 		c.regWait(u.ps2, i, u.seq)
 	}
-	if u.ps3 >= 0 && !c.physReady[u.ps3] {
+	if !c.physReady[u.ps3] {
 		nr++
 		c.regWait(u.ps3, i, u.seq)
 	}
@@ -391,14 +397,18 @@ func (c *Core) renameOne(i uref, u *uop) {
 	if nr == 0 {
 		c.readyInsert(i)
 	}
+	return true
 }
 
 // flushAfter squashes every micro-op younger than u, repairs the rename map
 // by walking the ROB from youngest to oldest, and redirects fetch to target.
-// Squashed ops are recycled into the pool immediately unless they are still
-// in flight in the completion calendar; those stay marked squashed and
-// writeback recycles them when their bucket drains (recycling here would
-// let the slot be reused while the calendar still references it).
+// Cleanup of the scheduler structures is squash-aware rather than per-uop:
+// the ready list and the memory queues are seq-sorted and every squashed op
+// is younger than u, so the squashed entries form a suffix that a binary
+// search truncates in one step; squashed ops still in flight in the
+// completion calendar are cancelled out of their wheel buckets in one pass
+// per touched bucket, returning their arena slots eagerly instead of leaving
+// them filed until the bucket's cycle comes around.
 // cause tags the flush for the wrong-path accounting (Stats.FlushMispredicts
 // vs FlushOverflows — secure redirects never come through here, they flush
 // only the never-renamed front end via redirectFrontEnd at commitEOSJmp).
@@ -410,16 +420,23 @@ func (c *Core) flushAfter(u *uop, target uint64, cause FlushCause) {
 	case FlushOverflow:
 		c.Stats.FlushOverflows++
 	}
-	// Walk the ROB backwards, undoing rename state.
+	boundary := u.seq
+	arena := c.pool.arena
+	// Walk the ROB backwards, undoing rename state. Ring contents beyond the
+	// live window are never read, so the vacated slots need no nilRef store.
+	// Ops not in flight in the calendar lose their last reference here (the
+	// seq-sorted queues are truncated below) and are recycled immediately;
+	// in-flight ops are collected for the calendar cancellation pass.
 	c.squashTmp = c.squashTmp[:0]
+	nsq := uint64(0)
 	for c.robCount > 0 {
 		pos := c.robHead + c.robCount - 1
 		if pos >= c.cfg.ROBSize {
 			pos -= c.cfg.ROBSize
 		}
 		yi := c.rob[pos]
-		y := c.u(yi)
-		if y.seq <= u.seq {
+		y := &arena[yi]
+		if y.seq <= boundary {
 			break
 		}
 		if y.hasDest {
@@ -427,39 +444,61 @@ func (c *Core) flushAfter(u *uop, target uint64, cause FlushCause) {
 			c.freeList = append(c.freeList, y.pd)
 		}
 		y.squashed = true
-		c.rob[pos] = nilRef
 		c.robCount--
-		c.squashTmp = append(c.squashTmp, yi)
-	}
-	kept := 0
-	for idx := 0; idx < c.readyCount; idx++ {
-		i := c.readyList[idx]
-		if !c.pool.arena[i].squashed {
-			c.readyList[kept] = i
-			kept++
+		nsq++
+		if y.fromReplay {
+			c.SBStats.WrongPathReplays++
 		}
-	}
-	c.readyCount = kept
-	c.lq = c.filterSquashed(c.lq)
-	c.sq = c.filterSquashed(c.sq)
-	// Waiter lists are cleaned lazily: wakePreg drops squashed entries by
-	// their seq check, and the completion calendar reclaims squashed
-	// in-flight ops when their buckets drain.
-	for _, yi := range c.squashTmp {
-		y := c.u(yi)
+		if c.wpOff && (y.cl == isa.ClassBranch || y.cl == isa.ClassJump) {
+			c.specCtl--
+		}
 		if y.issued && !y.completed {
-			// Still filed in the completion calendar: writeback reclaims it
-			// when its bucket drains at doneCycle.
+			c.squashTmp = append(c.squashTmp, yi)
 		} else {
-			// Not in exec: every remaining reference was just removed.
 			if !y.issued && y.cl != isa.ClassSys {
 				c.iqCount--
 			}
 			c.pool.put(yi)
 		}
 	}
-	nsq := uint64(len(c.squashTmp))
+	// Bulk-cancel the squashed suffix of each seq-sorted structure. The
+	// recycled slots above still hold their seq values (put does not clear),
+	// so the boundary search stays valid until the next pool get.
+	c.readyCount = seqBoundary(arena, c.readyList[:c.readyCount], boundary)
+	c.lq = c.lq[:seqBoundary(arena, c.lq, boundary)]
+	c.sq = c.sq[:seqBoundary(arena, c.sq, boundary)]
+	// Cancel in-flight squashed ops out of the completion calendar: one
+	// filtering pass per touched wheel bucket (repeat visits walk an
+	// already-clean chain and remove nothing). Ops whose bucket was already
+	// drained into writeback's due list this cycle are not in any chain;
+	// writeback reclaims those when the due loop reaches them. Waiter lists
+	// are still cleaned lazily: wakePreg drops squashed entries by seq check.
+	overflowTouched := false
+	for _, yi := range c.squashTmp {
+		y := &arena[yi]
+		if d := y.doneCycle - c.cycle; d <= c.calMask {
+			b := y.doneCycle & c.calMask
+			if c.calBuckets[b] >= 0 {
+				c.calCancelBucket(b)
+			}
+		} else {
+			overflowTouched = true
+		}
+	}
+	if overflowTouched {
+		keep := c.calOverflow[:0]
+		for _, i := range c.calOverflow {
+			if arena[i].squashed {
+				c.pool.put(i)
+				c.execCount--
+			} else {
+				keep = append(keep, i)
+			}
+		}
+		c.calOverflow = keep
+	}
 	dropped := c.redirectFrontEnd(target)
+	c.sbCountWrongPathBuilds(boundary)
 	c.Stats.SquashedUops += nsq
 	c.Stats.WrongPathFetches += nsq + dropped
 	if c.specWatch != nil {
@@ -468,36 +507,91 @@ func (c *Core) flushAfter(u *uop, target uint64, cause FlushCause) {
 	}
 }
 
+// seqBoundary returns the number of leading entries of q with seq <= boundary.
+// q must be seq-sorted ascending — true for readyList (sorted insertion) and
+// the memory queues (appended in rename order).
+func seqBoundary(arena []uop, q []uref, boundary uint64) int {
+	lo, hi := 0, len(q)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if arena[q[mid]].seq <= boundary {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// calCancelBucket rebuilds wheel bucket b's chain without its squashed ops,
+// recycling their arena slots. The calendar held the last live reference to
+// each (flushAfter already truncated every other structure).
+func (c *Core) calCancelBucket(b uint64) {
+	arena := c.pool.arena
+	head := int32(-1)
+	n := c.calBuckets[b]
+	for n >= 0 {
+		next := c.calNext[n]
+		if arena[n].squashed {
+			c.pool.put(n)
+			c.execCount--
+		} else {
+			c.calNext[n] = head
+			head = n
+		}
+		n = next
+	}
+	// The surviving chain was rebuilt in reverse; reverse it back so drain
+	// order (and therefore the due list's near-sortedness) is unchanged.
+	n, head = head, -1
+	for n >= 0 {
+		next := c.calNext[n]
+		c.calNext[n] = head
+		head = n
+		n = next
+	}
+	c.calBuckets[b] = head
+}
+
 // redirectFrontEnd clears all fetched-but-not-renamed state and restarts
 // fetch at target after the redirect penalty, returning how many fetched
 // micro-ops it dropped (wrong-path accounting). Drained micro-ops were never
 // renamed, so the front-end buffers hold their only references and they can
 // be recycled directly.
+//
+// The superblock replay cursor survives the redirect by re-keying on the
+// target pc: when a cached block already starts there, the next fetch group
+// resumes replay without the validate-miss/re-lookup step. A redirect into
+// unknown territory (no block at target yet, or target outside the code
+// image) drops the cursor and the next fetch builds or re-looks-up as usual.
+// Either way replay state never carries stale context across the redirect —
+// the per-step pc check in fetchSuperblock remains the only validity rule.
 func (c *Core) redirectFrontEnd(target uint64) uint64 {
 	var dropped uint64
+	arena := c.pool.arena
 	for !c.fe.empty() {
-		c.pool.put(c.fe.popAny())
+		i := c.fe.popAny()
+		if arena[i].fromReplay {
+			c.SBStats.WrongPathReplays++
+		}
+		c.pool.put(i)
 		dropped++
 	}
 	c.fetchPC = target
 	c.fetchHalted = false
 	c.fetchBroken = false
 	c.fetchStallUntil = c.cycle + uint64(c.cfg.RedirectPenalty)
-	// The superblock cursor is pc-validated, so leaving it would still be
-	// correct; dropping it on every redirect keeps the invariant trivial.
 	if c.sbCur >= 0 {
 		c.sbCur = -1
-		c.SBStats.Invalidate++
-	}
-	return dropped
-}
-
-func (c *Core) filterSquashed(q []uref) []uref {
-	out := q[:0]
-	for _, i := range q {
-		if !c.u(i).squashed {
-			out = append(out, i)
+		if !c.sbOff && target >= c.prog.CodeBase && target < c.prog.CodeEnd() {
+			if bi := c.sbIndex[target-c.prog.CodeBase]; bi >= 0 {
+				c.sbCur, c.sbCurIdx = bi, 0
+				c.SBStats.ReKeys++
+			}
+		}
+		if c.sbCur < 0 {
+			c.SBStats.Invalidate++
 		}
 	}
-	return out
+	return dropped
 }

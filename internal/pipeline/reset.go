@@ -51,6 +51,8 @@ func (c *Core) Reset(prog *isa.Program) {
 		c.physVal[r] = c.archRegs[r]
 		c.physReady[r] = true
 	}
+	c.rat[sraNone] = c.psNone()
+	c.physReady[c.psNone()] = true
 	c.freeList = c.freeList[:0]
 	for p := isa.NumArchRegs; p < c.cfg.PhysRegs; p++ {
 		c.freeList = append(c.freeList, int16(p))
@@ -82,12 +84,26 @@ func (c *Core) Reset(prog *isa.Program) {
 	c.fetchStallUntil = 0
 	c.fetchHalted, c.fetchBroken = false, false
 	c.fe.head, c.fe.nDec, c.fe.nFetch = 0, 0, 0
-	c.decoded = resizeCleared(c.decoded, len(prog.Code))
+	switch {
+	case c.sharedDecoded == prog:
+		// Prototype-shared table for this very program: fully resolved and
+		// immutable, nothing to clear.
+	case c.sharedDecoded != nil:
+		// Shared table for a different program: it belongs to the prototype
+		// and other cores, so detach onto a fresh private table instead of
+		// clearing the shared backing array in place.
+		c.decoded = make([]predec, len(prog.Code))
+		c.sharedDecoded = nil
+	default:
+		c.decoded = resizeCleared(c.decoded, len(prog.Code))
+	}
 
 	// Superblock cache: recycle every block's entry slice through the build
 	// pool so steady-state rebuilds stay allocation-free. sbOff re-reads the
 	// process default, matching what New would capture right now.
 	c.sbOff = c.cfg.DisableSuperblock || !superblockDefaultOn.Load()
+	c.wpOff = c.cfg.DisableWrongPathReplay || !wrongPathReplayDefaultOn.Load()
+	c.specCtl = 0
 	for i := range c.sbBlocks {
 		c.sbEntryPool = append(c.sbEntryPool, c.sbBlocks[i].entries[:0])
 	}
@@ -101,6 +117,7 @@ func (c *Core) Reset(prog *isa.Program) {
 		}
 	}
 	c.sbCur, c.sbCurIdx = -1, 0
+	c.sbBuildSeqs = c.sbBuildSeqs[:0]
 	c.SBStats = SuperblockStats{}
 
 	// Micro-op recycling: every arena slot returns to the free list, lowest

@@ -42,17 +42,30 @@ import (
 // program.
 
 // sbKind classifies how an entry's front-end behavior is produced at replay.
+// Beyond the original sequential/dynamic split, the build resolves each
+// control-flow shape to its own kind with the static taken target
+// precomputed, so replay dispatches directly instead of re-deriving the
+// shape from the opcode in predecode. Instructions whose front-end behavior
+// depends on dynamic predictor state beyond a direction lookup (JALR's
+// RAS/ITTAGE target) or on SeMPE marking fall back to the shared predecode.
 type sbKind uint8
 
 const (
 	// sbSeq: plain sequential instruction; predecode would take its default
 	// case, so replay fast-forwards fetchPC = npc without calling it.
 	sbSeq sbKind = iota
-	// sbPredecode: control flow or SeMPE marker; replay calls predecode so
-	// prediction and marking stay on the single code path.
+	// sbPredecode: JALR or SeMPE marker; replay calls predecode so dynamic
+	// target prediction and sJMP/eosJMP marking stay on the single code path.
 	sbPredecode
 	// sbHalt: HALT; sequential predecode plus the fetch-side halt latch.
 	sbHalt
+	// sbBranch: conditional branch (non-secure); direction from the TAGE
+	// lookup, taken target static.
+	sbBranch
+	// sbJmp: unconditional direct jump; always redirects to the static target.
+	sbJmp
+	// sbJal: direct call; like sbJmp plus an optional RAS push (pushRet).
+	sbJal
 )
 
 // sbMaxEntries caps a superblock's length so a pathological straight-line
@@ -63,8 +76,16 @@ const sbMaxEntries = 64
 type sbEntry struct {
 	proto  uop       // inst/pc/npc/cl filled; dynamic fields zero
 	lines  [2]uint64 // IL1 lines the instruction bytes touch, in order
+	target uint64    // static taken target (sbBranch/sbJmp/sbJal)
 	nlines uint8     // 1 or 2 (an instruction is at most 9 bytes)
 	kind   sbKind
+	// newLine is false when the entry stays entirely on the previous entry's
+	// last IL1 line: replaying it directly after its predecessor in the same
+	// fetch group charges nothing, so the per-line loop can be skipped
+	// statically. The first entry of every group still runs the full check
+	// (the legacy walk resets its line dedup each cycle).
+	newLine bool
+	pushRet bool // sbJal with Rd==LR: push the return address at replay
 }
 
 // superblock is one cached straight-line trace.
@@ -100,16 +121,23 @@ func (c *Core) fetchSuperblock() {
 			// Charge IL1 for each distinct line, exactly like the legacy
 			// walk: lastLine is updated even on a miss, and a miss retries
 			// the whole instruction after the stall (recharging its lines).
-			for li := 0; li < int(e.nlines); li++ {
-				a := e.lines[li]
-				if a == lastLine {
-					continue
-				}
-				lat := c.Hier.IL1.AccessPC(e.proto.pc, a, false)
-				lastLine = a
-				if lat > c.cfg.Caches.IL1.HitLatency {
-					c.fetchStallUntil = c.cycle + uint64(lat)
-					return // cursor still points here: retried after the fill
+			// Entries statically known to stay on their predecessor's line
+			// (newLine false) skip the loop whenever that predecessor was
+			// replayed earlier in this same group (n > 0); the group's first
+			// instruction always runs the full check, matching the legacy
+			// walk's per-cycle dedup reset.
+			if e.newLine || n == 0 {
+				for li := 0; li < int(e.nlines); li++ {
+					a := e.lines[li]
+					if a == lastLine {
+						continue
+					}
+					lat := c.Hier.IL1.AccessPC(e.proto.pc, a, false)
+					lastLine = a
+					if lat > c.cfg.Caches.IL1.HitLatency {
+						c.fetchStallUntil = c.cycle + uint64(lat)
+						return // cursor still points here: retried after the fill
+					}
 				}
 			}
 
@@ -120,24 +148,40 @@ func (c *Core) fetchSuperblock() {
 			c.seq++
 			c.sbCurIdx++
 			c.SBStats.Replays++
-
-			redirected := false
-			if e.kind == sbPredecode {
-				redirected = c.predecode(u)
-			} else {
-				// Sequential (or HALT): predecode's default case.
-				c.fetchPC = u.npc
-			}
 			c.fe.pushFetched(i)
 			n++
-			if e.kind == sbHalt {
+
+			// Direct dispatch on the build-time kind; every arm mirrors the
+			// corresponding predecode case exactly.
+			switch e.kind {
+			case sbSeq:
+				c.fetchPC = u.npc
+			case sbBranch:
+				u.predTaken = c.BP.PredictBranch(u.pc)
+				u.predTarget = e.target
+				if u.predTaken {
+					c.fetchPC = e.target
+					return // one taken control transfer per fetch group
+				}
+				c.fetchPC = u.npc
+			case sbJmp, sbJal:
+				u.predTaken = true
+				u.predTarget = e.target
+				if e.pushRet {
+					c.BP.PushReturn(u.npc)
+				}
+				c.fetchPC = e.target
+				return
+			case sbHalt:
+				c.fetchPC = u.npc
 				c.fetchHalted = true
 				return
-			}
-			if redirected {
-				// One taken control transfer per fetch group. The cursor is
-				// left as-is; the pc check above re-validates or drops it.
-				return
+			default: // sbPredecode: JALR or SeMPE marker
+				if c.predecode(u) {
+					// The cursor is left as-is; the pc check above
+					// re-validates or drops it.
+					return
+				}
 			}
 		}
 		// Block exhausted mid-group: the outer loop re-establishes a cursor
@@ -204,21 +248,39 @@ func (c *Core) sbBuild(off int) int32 {
 		e.proto.writesRd = d.writesRd
 		e.proto.isLoad, e.proto.isStore = d.isLoad, d.isStore
 		e.proto.memWidth = d.memWidth
+		e.proto.fromReplay = true
 		for a := pc &^ (cache.LineSize - 1); a < pc+uint64(size); a += cache.LineSize {
 			e.lines[e.nlines] = a
 			e.nlines++
+		}
+		if n := len(entries); n > 0 {
+			prev := &entries[n-1]
+			e.newLine = e.nlines != 1 || e.lines[0] != prev.lines[prev.nlines-1]
+		} else {
+			e.newLine = true
 		}
 		op := d.inst.Op
 		switch {
 		case op == isa.OpHalt:
 			e.kind = sbHalt
+		case c.cfg.SeMPE && (d.inst.IsSJmp() || d.inst.IsEOSJmp()):
+			// SeMPE markers: sJMP must skip prediction and eosJMP is a
+			// secure NOP that predecode must mark so rename drains. Without
+			// SeMPE both decode as their plain shapes (backward compat) and
+			// take the direct-dispatch kinds below.
+			e.kind = sbPredecode
+		case op.IsBranch():
+			e.kind = sbBranch
+			e.target = pc + uint64(d.inst.Imm)
+		case op == isa.OpJmp:
+			e.kind = sbJmp
+			e.target = pc + uint64(d.inst.Imm)
+		case op == isa.OpJal:
+			e.kind = sbJal
+			e.target = pc + uint64(d.inst.Imm)
+			e.pushRet = d.inst.Rd == isa.LR
 		case op.IsControl():
-			e.kind = sbPredecode
-		case c.cfg.SeMPE && d.inst.IsEOSJmp():
-			// eosJMP is a secure NOP: sequential to fetch, but predecode
-			// must mark it so rename drains. (sJMP is a secure branch and
-			// is already covered by IsControl.)
-			e.kind = sbPredecode
+			e.kind = sbPredecode // JALR: dynamic target prediction
 		default:
 			e.kind = sbSeq
 		}
@@ -235,5 +297,31 @@ func (c *Core) sbBuild(off int) int32 {
 	c.sbBlocks = append(c.sbBlocks, superblock{entries: entries})
 	c.sbIndex[off] = bi
 	c.SBStats.Builds++
+	// Stamp the build with the next sequence number: a later flush whose
+	// boundary seq is older counts it as wrong-path work (the fetch that
+	// triggered it was squashed or dropped). The block itself stays cached —
+	// static traces are path-independent.
+	c.sbBuildSeqs = append(c.sbBuildSeqs, c.seq)
 	return bi
+}
+
+// sbCountWrongPathBuilds attributes builds stamped younger than boundary to
+// wrong-path work. Stamps are appended in seq order, so the wrong-path tail
+// is a binary-search truncation; counted stamps are dropped so a build is
+// attributed at most once.
+func (c *Core) sbCountWrongPathBuilds(boundary uint64) {
+	s := c.sbBuildSeqs
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] <= boundary {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if n := len(s) - lo; n > 0 {
+		c.SBStats.WrongPathBuilds += uint64(n)
+		c.sbBuildSeqs = s[:lo]
+	}
 }

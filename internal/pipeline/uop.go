@@ -27,8 +27,9 @@ type uop struct {
 
 	inst isa.Inst
 
-	// Rename state (2-byte). Negative physical register indices mean
-	// "unused"; int16 holds any PhysRegs size in use.
+	// Rename state (2-byte). Unused sources rename to the psNone sentinel
+	// (always ready, value 0); pd/oldPd use -1 for "none" (guarded by
+	// hasDest). int16 holds any PhysRegs size in use.
 	ps1, ps2, ps3 int16 // sources: Ra, Rb, old-Rd (ST data / CMOV old value)
 	pd            int16 // destination physical register
 	oldPd         int16 // previous mapping of Rd, freed at commit
@@ -56,6 +57,7 @@ type uop struct {
 	isSJmp      bool // SeMPE roles, set only when the core runs with SeMPE
 	isEOSJmp    bool
 	squashed    bool
+	fromReplay  bool // fetched via superblock replay (wrong-path accounting)
 }
 
 // uref is an index into the core's uop arena. nilRef means "no micro-op".

@@ -92,18 +92,18 @@ func TestMetricsExposition(t *testing.T) {
 	}
 
 	want := map[string]float64{
-		`sempe_runs_created_total`:                    2,
-		`sempe_serve_computes_total`:                  1,
-		`sempe_serve_cache_hits_total`:                1,
-		`sempe_serve_store_hits_total`:                0,
-		`sempe_runs_finished_total{status="done"}`:    2,
-		`sempe_runs{status="done"}`:                   2,
-		`sempe_runs{status="running"}`:                0,
-		`sempe_sim_semaphore_occupancy`:               0,
-		`sempe_sim_semaphore_capacity`:                2,
-		`sempe_http_requests_total{route="POST /runs",method="POST",code="200"}`: 2,
+		`sempe_runs_created_total`:                                                  2,
+		`sempe_serve_computes_total`:                                                1,
+		`sempe_serve_cache_hits_total`:                                              1,
+		`sempe_serve_store_hits_total`:                                              0,
+		`sempe_runs_finished_total{status="done"}`:                                  2,
+		`sempe_runs{status="done"}`:                                                 2,
+		`sempe_runs{status="running"}`:                                              0,
+		`sempe_sim_semaphore_occupancy`:                                             0,
+		`sempe_sim_semaphore_capacity`:                                              2,
+		`sempe_http_requests_total{route="POST /runs",method="POST",code="200"}`:    2,
 		`sempe_http_requests_total{route="GET /scenarios",method="GET",code="200"}`: 1,
-		`sempe_http_request_seconds_count{route="POST /runs"}`:                     2,
+		`sempe_http_request_seconds_count{route="POST /runs"}`:                      2,
 	}
 	for name, v := range want {
 		if got, ok := samples[name]; !ok || got != v {
